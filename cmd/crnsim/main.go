@@ -1,0 +1,121 @@
+// Command crnsim runs a single contention-resolution simulation on the
+// Coded Radio Network Model and reports throughput, backlog, latency,
+// and slot statistics.
+//
+// Usage:
+//
+//	crnsim [-protocol dba|beb|aloha|genie|mw] [-kappa K] [-arrival kind] ...
+//
+// Examples:
+//
+//	crnsim -protocol dba -kappa 64 -arrival batch -n 10000
+//	crnsim -protocol genie -kappa 1 -arrival poisson -rate 0.35 -horizon 200000
+//	crnsim -protocol dba -kappa 256 -arrival burst -window 16384 -rate 0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	crn "repro"
+	"repro/internal/asciiplot"
+	"repro/internal/report"
+)
+
+func main() {
+	protoName := flag.String("protocol", "dba", "protocol: dba, beb, aloha, genie, mw")
+	kappa := flag.Int("kappa", 64, "decoding threshold κ (dba needs ≥ 6)")
+	arrivalName := flag.String("arrival", "batch", "arrival process: batch, bernoulli, poisson, even, burst")
+	n := flag.Int("n", 10000, "batch size (arrival=batch)")
+	rate := flag.Float64("rate", 0.5, "arrival rate (bernoulli/poisson/even) or window fill fraction (burst)")
+	window := flag.Int64("window", 16384, "burst window length (arrival=burst)")
+	horizon := flag.Int64("horizon", 100000, "slots during which arrivals occur")
+	drain := flag.Bool("drain", true, "keep running after the horizon until the system empties")
+	seed := flag.Uint64("seed", 1, "random seed")
+	alohaP := flag.Float64("aloha-p", 0.001, "static ALOHA transmission probability (protocol=aloha)")
+	plot := flag.Bool("plot", true, "render the backlog time series")
+	tracePath := flag.String("trace", "", "write the backlog time series to this CSV file")
+	flag.Parse()
+
+	var proto crn.Protocol
+	switch *protoName {
+	case "dba":
+		proto = crn.NewDecodableBackoff(*kappa, *seed)
+	case "beb":
+		proto = crn.NewExponentialBackoff(*seed)
+	case "aloha":
+		proto = crn.NewSlottedAloha(*seed, *alohaP)
+	case "genie":
+		proto = crn.NewGenieAloha(*seed, 1)
+	case "mw":
+		proto = crn.NewMultiplicativeWeights(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "crnsim: unknown protocol %q\n", *protoName)
+		os.Exit(2)
+	}
+
+	var arr crn.Arrivals
+	switch *arrivalName {
+	case "batch":
+		arr = crn.NewBatch(*n)
+		if *horizon < 1 {
+			*horizon = 1
+		}
+	case "bernoulli":
+		arr = crn.NewBernoulli(*rate)
+	case "poisson":
+		arr = crn.NewPoisson(*rate)
+	case "even":
+		arr = crn.NewEvenPaced(*rate)
+	case "burst":
+		arr = crn.NewWindowBurst(*window, int(*rate*float64(*window)))
+	default:
+		fmt.Fprintf(os.Stderr, "crnsim: unknown arrival %q\n", *arrivalName)
+		os.Exit(2)
+	}
+
+	res := crn.Run(crn.Config{
+		Kappa:        *kappa,
+		Horizon:      *horizon,
+		Drain:        *drain,
+		Seed:         *seed + 1,
+		TrackLatency: true,
+	}, proto, arr)
+
+	fmt.Printf("protocol:   %s\n", res.Protocol)
+	fmt.Printf("arrivals:   %s (%d packets)\n", res.Arrival, res.Arrivals)
+	fmt.Printf("channel:    κ=%d  good=%d bad=%d silent=%d events=%d\n",
+		res.Kappa, res.Channel.GoodSlots, res.Channel.BadSlots,
+		res.Channel.SilentSlots, res.Channel.Events)
+	fmt.Printf("delivered:  %d (pending %d) in %d slots\n", res.Delivered, res.Pending, res.Elapsed)
+	fmt.Printf("throughput: %.4f (first arrival to last delivery)\n", res.CompletionThroughput())
+	fmt.Printf("backlog:    max %d\n", res.MaxBacklog)
+	if res.Delivered > 0 {
+		fmt.Printf("latency:    p50=%.0f p99=%.0f max=%.0f mean=%.1f slots\n",
+			res.LatencyQuantile(0.50), res.LatencyQuantile(0.99),
+			res.Latency.Max(), res.Latency.Mean())
+	}
+	if *tracePath != "" {
+		err := report.SaveSeriesCSV(*tracePath, "slot", "backlog",
+			res.BacklogSeries.T, res.BacklogSeries.V)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crnsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace:      %s (%d points)\n", *tracePath, res.BacklogSeries.Len())
+	}
+	if *plot && res.BacklogSeries.Len() > 1 {
+		p := asciiplot.Plot{
+			Title: "backlog over time", XLabel: "slot", YLabel: "pending packets",
+			Width: 64, Height: 12,
+		}
+		xs := make([]float64, res.BacklogSeries.Len())
+		for i := range xs {
+			xs[i] = float64(res.BacklogSeries.T[i])
+		}
+		p.Add(asciiplot.Series{Name: res.Protocol, X: xs, Y: res.BacklogSeries.V})
+		fmt.Println()
+		fmt.Print(p.Render())
+	}
+}

@@ -1,0 +1,78 @@
+// Command experiments regenerates the paper-reproduction experiments
+// (E1–E12; see DESIGN.md section 5 for the index mapping each experiment
+// to a theorem or claim).  It prints tables and ASCII figures, and can
+// save every table as CSV.
+//
+// Usage:
+//
+//	experiments [-scale quick|full] [-run E3,E8] [-seed N] [-csv dir]
+//
+// Examples:
+//
+//	experiments -scale quick                # everything, CI-sized
+//	experiments -scale full -run E3         # paper-sized Theorem 16 run
+//	experiments -csv out/                   # also write out/E1-*.csv ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment sizing: quick or full")
+	runFlag := flag.String("run", "all", "comma-separated experiment IDs (e.g. E1,E3) or 'all'")
+	seed := flag.Uint64("seed", 2022, "base random seed")
+	csvDir := flag.String("csv", "", "directory to write per-table CSV files (optional)")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch strings.ToLower(*scaleFlag) {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q (want quick or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	var runners []experiments.Runner
+	if strings.EqualFold(*runFlag, "all") {
+		runners = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runFlag, ",") {
+			r := experiments.ByID(strings.TrimSpace(id))
+			if r == nil {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, *r)
+		}
+	}
+
+	fmt.Printf("Contention Resolution for Coded Radio Networks — reproduction harness\n")
+	fmt.Printf("scale=%s seed=%d experiments=%d\n\n", scale, *seed, len(runners))
+	grandStart := time.Now()
+	for _, r := range runners {
+		start := time.Now()
+		out := r.Run(scale, *seed)
+		fmt.Print(out.String())
+		fmt.Printf("[%s completed in %v]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			for i, t := range out.Tables {
+				name := fmt.Sprintf("%s-%d", out.ID, i+1)
+				if err := t.SaveCSV(*csvDir, name); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+	fmt.Printf("all experiments completed in %v\n", time.Since(grandStart).Round(time.Millisecond))
+}

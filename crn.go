@@ -1,0 +1,179 @@
+package crn
+
+import (
+	"repro/internal/arrival"
+	"repro/internal/baseline"
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/jam"
+	"repro/internal/potential"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// PacketID identifies a packet; the engine assigns IDs in arrival order.
+type PacketID = channel.PacketID
+
+// Event is a decoding event delivering the packets of a decoding window.
+type Event = channel.Event
+
+// Feedback is what devices hear about a slot: silence and decoding
+// events (devices cannot distinguish good slots from bad ones).
+type Feedback = channel.Feedback
+
+// Protocol is a contention-resolution protocol; see NewDecodableBackoff
+// and the baseline constructors, or implement your own.
+type Protocol = protocol.Protocol
+
+// Arrivals is a packet-injection process; see NewBatch, NewBernoulli,
+// NewWindowBurst, and friends.
+type Arrivals = arrival.Process
+
+// Config parametrizes a simulation run.
+type Config = sim.Config
+
+// Result holds the measurements of a run.
+type Result = sim.Result
+
+// NoWindowCap disables the decoding-window length cap in Config.MaxWindow.
+const NoWindowCap = sim.NoWindowCap
+
+// EpochInfo describes one completed Decodable Backoff epoch, as passed to
+// epoch observers.
+type EpochInfo = protocol.EpochInfo
+
+// Channel is the Coded Radio Network Model base station; most users
+// drive it through Run, but it can be stepped directly.
+type Channel = channel.Channel
+
+// NewChannel returns a coded radio channel with decoding threshold kappa
+// and a decoding-window length cap (0 = unbounded).
+func NewChannel(kappa, maxWindow int) *Channel { return channel.New(kappa, maxWindow) }
+
+// DecodableBackoffOption configures NewDecodableBackoff.
+type DecodableBackoffOption = core.Option
+
+// WithUpdateFactor overrides the multiplicative probability update
+// (paper: κ^(1/4)); used for ablation studies.
+func WithUpdateFactor(f float64) DecodableBackoffOption { return core.WithUpdateFactor(f) }
+
+// WithInitialProb overrides the activation probability (paper: κ^(−1/2)).
+func WithInitialProb(p0 float64) DecodableBackoffOption { return core.WithInitialProb(p0) }
+
+// WithoutAdmissionControl activates arrivals immediately instead of
+// holding them inactive until a silent slot.
+func WithoutAdmissionControl() DecodableBackoffOption { return core.WithoutAdmissionControl() }
+
+// WithEpochObserver installs a per-epoch instrumentation callback.
+func WithEpochObserver(f func(EpochInfo)) DecodableBackoffOption {
+	return core.WithEpochObserver(protocol.EpochObserverFunc(f))
+}
+
+// NewDecodableBackoff returns the paper's Decodable Backoff Algorithm for
+// decoding threshold kappa (κ ≥ 6), seeded deterministically.
+func NewDecodableBackoff(kappa int, seed uint64, opts ...DecodableBackoffOption) *core.DecodableBackoff {
+	return core.New(kappa, rng.New(seed), opts...)
+}
+
+// NewExponentialBackoff returns classical binary exponential backoff.
+func NewExponentialBackoff(seed uint64) Protocol {
+	return baseline.NewExponentialBackoff(rng.New(seed))
+}
+
+// NewSlottedAloha returns slotted ALOHA with fixed transmission
+// probability p.
+func NewSlottedAloha(seed uint64, p float64) Protocol {
+	return baseline.NewSlottedAloha(rng.New(seed), p)
+}
+
+// NewGenieAloha returns backlog-aware ALOHA (p = c/backlog); c = 1 is the
+// classical 1/e-throughput reference.
+func NewGenieAloha(seed uint64, c float64) Protocol {
+	return baseline.NewGenieAloha(rng.New(seed), c)
+}
+
+// NewMultiplicativeWeights returns a Chang–Jin–Pettie-style
+// multiplicative-weights protocol with default parameters.
+func NewMultiplicativeWeights(seed uint64) Protocol {
+	return baseline.NewMultiplicativeWeights(rng.New(seed), baseline.DefaultMWConfig())
+}
+
+// NewBatch injects n packets at slot 0.
+func NewBatch(n int) Arrivals { return &arrival.Batch{At: 0, N: n} }
+
+// NewBatchAt injects n packets at the given slot.
+func NewBatchAt(at int64, n int) Arrivals { return &arrival.Batch{At: at, N: n} }
+
+// NewBernoulli injects one packet per slot with probability rate.
+func NewBernoulli(rate float64) Arrivals { return &arrival.Bernoulli{Rate: rate} }
+
+// NewPoisson injects Poisson(lambda) packets per slot.
+func NewPoisson(lambda float64) Arrivals { return &arrival.Poisson{Lambda: lambda} }
+
+// NewEvenPaced injects deterministically at the given rate.
+func NewEvenPaced(rate float64) Arrivals { return arrival.NewEvenPaced(rate) }
+
+// NewWindowBurst injects perWindow packets in one burst at the start of
+// every window slots — the worst-case-shaped adversary for backlog.
+func NewWindowBurst(window int64, perWindow int) Arrivals {
+	return &arrival.WindowBurst{Window: window, PerWindow: perWindow}
+}
+
+// NewCappedArrivals wraps inner with the paper's sliding-window rate
+// constraint: at most max arrivals in every window of the given length.
+func NewCappedArrivals(inner Arrivals, window int64, max int) Arrivals {
+	return arrival.NewCap(inner, window, max)
+}
+
+// NewDisruptor returns an adaptive adversary that injects a burst right
+// after every silent slot — when Decodable Backoff activates its inactive
+// packets.  Wrap it in NewCappedArrivals to respect a rate bound.
+func NewDisruptor(burstSize int) Arrivals {
+	return &arrival.Disruptor{BurstSize: burstSize}
+}
+
+// Jammer spoils slots with noise energy (failure injection beyond the
+// paper's model); see NewRandomJammer and NewPeriodicJammer.
+type Jammer = jam.Jammer
+
+// NewRandomJammer jams each slot independently with the given rate.
+func NewRandomJammer(rate float64) Jammer { return &jam.Random{Rate: rate} }
+
+// NewPeriodicJammer jams burst consecutive slots at the start of every
+// period slots.
+func NewPeriodicJammer(period, burst int64) Jammer {
+	return &jam.Periodic{Period: period, Burst: burst}
+}
+
+// NewPolynomialBackoff returns polynomial backoff with window (k+1)^exp
+// after k failures.
+func NewPolynomialBackoff(seed uint64, exp float64) Protocol {
+	return baseline.NewPolynomialBackoff(rng.New(seed), exp)
+}
+
+// Run simulates one execution of the protocol under the arrival process.
+func Run(cfg Config, proto Protocol, arr Arrivals) *Result {
+	return sim.Run(cfg, proto, arr)
+}
+
+// RunTrials executes n independent trials in parallel with
+// deterministically derived seeds; see sim.RunTrials.
+func RunTrials(n int, baseSeed uint64, parallelism int, f func(trial int, seed uint64) *Result) []*Result {
+	return sim.RunTrials(n, baseSeed, parallelism, f)
+}
+
+// TheoremRate returns Theorem 11's guaranteed-stable arrival rate,
+// 1 − 5/ln κ (non-positive for κ ≤ e⁵ ≈ 148: the constants are loose).
+func TheoremRate(kappa int) float64 { return potential.TheoremRate(kappa) }
+
+// TheoremMinWindow returns the smallest window size Theorem 11 admits,
+// 16κ².
+func TheoremMinWindow(kappa int) int64 { return potential.TheoremMinWindow(kappa) }
+
+// Potential evaluates the paper's potential function Φ from a system
+// snapshot (Section 4): n packets total, m inactive, contention c, and
+// minimum active joining probability pMin.
+func Potential(kappa, n, m int, c, pMin float64) float64 {
+	return potential.Compute(kappa, n, m, c, pMin).Total()
+}

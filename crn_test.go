@@ -1,0 +1,129 @@
+package crn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	const kappa, n = 64, 2000
+	res := Run(Config{Kappa: kappa, Horizon: 1, Drain: true, Seed: 2, TrackLatency: true},
+		NewDecodableBackoff(kappa, 1), NewBatch(n))
+	if res.Delivered != n || res.Pending != 0 {
+		t.Fatalf("delivered %d pending %d", res.Delivered, res.Pending)
+	}
+	if thpt := res.CompletionThroughput(); thpt < 0.85 || thpt > 1 {
+		t.Fatalf("throughput %v out of expected range", thpt)
+	}
+}
+
+func TestFacadeProtocols(t *testing.T) {
+	const n = 200
+	protos := map[string]Protocol{
+		"dba":   NewDecodableBackoff(16, 3),
+		"beb":   NewExponentialBackoff(4),
+		"aloha": NewSlottedAloha(5, 0.01),
+		"genie": NewGenieAloha(6, 1),
+		"mw":    NewMultiplicativeWeights(7),
+	}
+	for name, p := range protos {
+		kappa := 16
+		if name != "dba" {
+			kappa = 1
+		}
+		res := Run(Config{Kappa: kappa, Horizon: 1, Drain: true, DrainLimit: 1 << 22, Seed: 8},
+			p, NewBatch(n))
+		if res.Delivered != n {
+			t.Fatalf("%s delivered %d of %d", name, res.Delivered, n)
+		}
+	}
+}
+
+func TestFacadeArrivals(t *testing.T) {
+	arrs := map[string]Arrivals{
+		"batch":     NewBatch(10),
+		"batchAt":   NewBatchAt(5, 10),
+		"bernoulli": NewBernoulli(0.2),
+		"poisson":   NewPoisson(0.2),
+		"even":      NewEvenPaced(0.2),
+		"burst":     NewWindowBurst(100, 20),
+		"capped":    NewCappedArrivals(NewPoisson(0.5), 100, 20),
+		"disruptor": NewCappedArrivals(NewDisruptor(5), 100, 10),
+	}
+	for name, a := range arrs {
+		res := Run(Config{Kappa: 16, Horizon: 2000, Drain: true, Seed: 9},
+			NewDecodableBackoff(16, 10), a)
+		if res.Arrivals != res.Delivered+int64(res.Pending) {
+			t.Fatalf("%s: conservation violated", name)
+		}
+	}
+}
+
+func TestFacadeOptions(t *testing.T) {
+	p := NewDecodableBackoff(16, 1,
+		WithUpdateFactor(2),
+		WithInitialProb(0.5),
+		WithoutAdmissionControl(),
+		WithEpochObserver(func(EpochInfo) {}))
+	res := Run(Config{Kappa: 16, Horizon: 1, Drain: true, Seed: 2}, p, NewBatch(50))
+	if res.Delivered != 50 {
+		t.Fatalf("optioned DBA delivered %d", res.Delivered)
+	}
+}
+
+func TestTheoremHelpers(t *testing.T) {
+	if TheoremRate(1024) <= 0 {
+		t.Fatal("rate at 1024 should be positive")
+	}
+	if TheoremMinWindow(64) != 16*64*64 {
+		t.Fatal("min window wrong")
+	}
+	if Potential(64, 0, 0, 0, 1) != 0 {
+		t.Fatal("empty-system potential nonzero")
+	}
+	if Potential(64, 10, 0, 0, 1) != 10 {
+		t.Fatal("potential should equal N for calm system")
+	}
+}
+
+func TestRunTrialsFacade(t *testing.T) {
+	results := RunTrials(4, 99, 2, func(trial int, seed uint64) *Result {
+		return Run(Config{Kappa: 16, Horizon: 1, Drain: true, Seed: seed},
+			NewDecodableBackoff(16, seed), NewBatch(100))
+	})
+	if len(results) != 4 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Delivered != 100 {
+			t.Fatalf("trial %d delivered %d", i, r.Delivered)
+		}
+	}
+}
+
+func TestChannelFacade(t *testing.T) {
+	ch := NewChannel(4, 0)
+	if _, ev := ch.Step(0, []PacketID{1}); ev == nil || ev.Size() != 1 {
+		t.Fatal("lone transmitter not decoded")
+	}
+}
+
+func TestThroughputApproachesOne(t *testing.T) {
+	// The library's headline: throughput rises with kappa.
+	var prev float64
+	for _, kappa := range []int{8, 64, 512} {
+		res := Run(Config{Kappa: kappa, Horizon: 1, Drain: true, Seed: 3},
+			NewDecodableBackoff(kappa, 4), NewBatch(4000))
+		thpt := res.CompletionThroughput()
+		if thpt < prev-0.05 { // allow small noise
+			t.Fatalf("throughput fell from %v to %v at kappa=%d", prev, thpt, kappa)
+		}
+		prev = thpt
+	}
+	if prev < 0.9 {
+		t.Fatalf("throughput at kappa=512 only %v", prev)
+	}
+	if math.Abs(prev-1) > 0.12 {
+		t.Fatalf("throughput at kappa=512 not near 1: %v", prev)
+	}
+}

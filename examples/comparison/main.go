@@ -1,0 +1,66 @@
+// Comparison: race the Decodable Backoff Algorithm against the classical
+// protocols on batch workloads and sustained load, reproducing the
+// paper's headline separation — coded-channel throughput near 1 versus
+// the classical 1/e-type ceilings.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	crn "repro"
+)
+
+func main() {
+	const n = 5000
+
+	fmt.Printf("Batch of %d packets — completion throughput\n\n", n)
+	fmt.Printf("%-24s %8s %12s\n", "protocol", "κ", "throughput")
+
+	type entry struct {
+		name  string
+		kappa int
+		mk    func(seed uint64) crn.Protocol
+	}
+	entries := []entry{
+		{"decodable-backoff", 16, func(s uint64) crn.Protocol { return crn.NewDecodableBackoff(16, s) }},
+		{"decodable-backoff", 64, func(s uint64) crn.Protocol { return crn.NewDecodableBackoff(64, s) }},
+		{"decodable-backoff", 256, func(s uint64) crn.Protocol { return crn.NewDecodableBackoff(256, s) }},
+		{"genie-aloha", 1, func(s uint64) crn.Protocol { return crn.NewGenieAloha(s, 1) }},
+		{"mult-weights (CJP)", 1, func(s uint64) crn.Protocol { return crn.NewMultiplicativeWeights(s) }},
+		{"exponential backoff", 1, func(s uint64) crn.Protocol { return crn.NewExponentialBackoff(s) }},
+	}
+	for _, e := range entries {
+		// Average over a few trials in parallel, deterministically seeded.
+		results := crn.RunTrials(4, uint64(e.kappa)*1000+uint64(len(e.name)), 0,
+			func(trial int, seed uint64) *crn.Result {
+				return crn.Run(crn.Config{Kappa: e.kappa, Horizon: 1, Drain: true,
+					DrainLimit: int64(n) * 64, Seed: seed},
+					e.mk(seed^0xC0), crn.NewBatch(n))
+			})
+		var sum float64
+		for _, r := range results {
+			sum += r.CompletionThroughput()
+		}
+		fmt.Printf("%-24s %8d %12.4f\n", e.name, e.kappa, sum/float64(len(results)))
+	}
+
+	fmt.Printf("\nreference lines: 1/e ≈ %.4f (ALOHA ceiling), 0.568 (full-sensing bound), 0.530 (ack-based bound)\n\n", 1/math.E)
+
+	// Sustained load: who survives λ = 0.6?
+	fmt.Println("Sustained Poisson(0.6) for 100k slots — final backlog")
+	sustained := []entry{
+		{"decodable-backoff", 64, func(s uint64) crn.Protocol { return crn.NewDecodableBackoff(64, s) }},
+		{"genie-aloha", 1, func(s uint64) crn.Protocol { return crn.NewGenieAloha(s, 1) }},
+		{"mult-weights (CJP)", 1, func(s uint64) crn.Protocol { return crn.NewMultiplicativeWeights(s) }},
+	}
+	for _, e := range sustained {
+		res := crn.Run(crn.Config{Kappa: e.kappa, Horizon: 100_000, Seed: 11},
+			e.mk(12), crn.NewPoisson(0.6))
+		verdict := "stable"
+		if res.Pending > 1000 {
+			verdict = "DIVERGING"
+		}
+		fmt.Printf("%-24s κ=%-4d backlog=%-8d %s\n", e.name, e.kappa, res.Pending, verdict)
+	}
+}

@@ -1,0 +1,45 @@
+// Quickstart: run the Decodable Backoff Algorithm on a batch of packets
+// and print the headline numbers — the 60-second tour of the library.
+package main
+
+import (
+	"fmt"
+
+	crn "repro"
+)
+
+func main() {
+	const (
+		kappa = 64    // decoding threshold: the base station can use slots with ≤ κ simultaneous transmitters
+		n     = 10000 // packets, all arriving at slot 0
+	)
+
+	proto := crn.NewDecodableBackoff(kappa, 1)
+	res := crn.Run(crn.Config{
+		Kappa:        kappa,
+		Horizon:      1, // arrivals happen at slot 0 only
+		Drain:        true,
+		Seed:         2,
+		TrackLatency: true,
+	}, proto, crn.NewBatch(n))
+
+	fmt.Printf("Decodable Backoff on the Coded Radio Network Model (κ = %d)\n\n", kappa)
+	fmt.Printf("batch size:        %d packets\n", res.Arrivals)
+	fmt.Printf("completion time:   %d slots\n", res.LastDelivery+1)
+	fmt.Printf("throughput:        %.4f packets/slot  (paper: 1 − Θ(1/ln κ))\n", res.CompletionThroughput())
+	fmt.Printf("Theorem 16 bound:  %.0f slots (n(1+10/κ)+O(κ))\n",
+		float64(n)*(1+10.0/kappa)+4*kappa)
+	fmt.Printf("slots:             %d good, %d bad, %d silent\n",
+		res.Channel.GoodSlots, res.Channel.BadSlots, res.Channel.SilentSlots)
+	fmt.Printf("decoding events:   %d (mean group size %.1f)\n",
+		res.Channel.Events, float64(res.Delivered)/float64(res.Channel.Events))
+	fmt.Printf("latency:           p50=%.0f  p99=%.0f  max=%.0f slots\n",
+		res.LatencyQuantile(0.50), res.LatencyQuantile(0.99), res.Latency.Max())
+
+	// For contrast: the strongest classical protocol (genie-aided ALOHA,
+	// throughput 1/e) on the classical channel (κ = 1).
+	aloha := crn.Run(crn.Config{Kappa: 1, Horizon: 1, Drain: true, Seed: 3},
+		crn.NewGenieAloha(4, 1), crn.NewBatch(n))
+	fmt.Printf("\ngenie ALOHA (κ=1): %.4f packets/slot — the 1/e ≈ 0.368 classical ceiling\n",
+		aloha.CompletionThroughput())
+}

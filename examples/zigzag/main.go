@@ -1,0 +1,70 @@
+// Zigzag: a physical-layer walkthrough of why the Coded Radio Network
+// Model is realistic.  Two packets collide twice with different symbol
+// offsets; the ZigZag decoder recovers both from the two collisions, and
+// the random-linear-coding view shows the same two-slots-for-two-packets
+// arithmetic as a 2×2 matrix inversion over GF(2^8).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/phy"
+	"repro/internal/rlnc"
+	"repro/internal/rng"
+)
+
+func main() {
+	r := rng.New(42)
+
+	// --- Part 1: ZigZag decoding at the symbol level ------------------
+	const bits = 1000
+	alice := phy.RandomBits(bits, r)
+	bob := phy.RandomBits(bits, r)
+
+	// Two hidden terminals collide twice; retransmission jitter gives the
+	// two collisions different symbol offsets (3 and 41).
+	c1 := phy.NewCollision(alice, bob, 1, 1, 3, 0.1, r)
+	c2 := phy.NewCollision(alice, bob, 1, 1, 41, 0.1, r)
+
+	fmt.Println("Part 1 — ZigZag decoding (Gollakota & Katabi 2008)")
+	fmt.Printf("two %d-bit packets collide twice (offsets 3 and 41, SNR 14 dB)\n", bits)
+
+	// Naive receiver: try to decode Alice straight out of collision 1.
+	naive := phy.DemodulateBPSK(c1.Y[:bits], 1)
+	fmt.Printf("  naive decode of collision 1: %4d/%d bit errors — packet lost\n",
+		phy.BitErrors(alice, naive), bits)
+
+	gotA, gotB, err := phy.ZigZagDecode(c1, c2, bits, bits)
+	if err != nil {
+		fmt.Println("  zigzag failed:", err)
+		return
+	}
+	fmt.Printf("  zigzag decode:  Alice %d errors, Bob %d errors — both recovered\n",
+		phy.BitErrors(alice, gotA), phy.BitErrors(bob, gotB))
+	fmt.Println("  cost: 2 packets from 2 collision slots — same throughput as scheduling them apart")
+
+	// --- Part 2: the same arithmetic as linear network coding ---------
+	fmt.Println("\nPart 2 — random linear network coding over GF(2^8)")
+	payloadA := []byte("the quick brown fox jumps over the lazy dog.....")
+	payloadB := []byte("pack my box with five dozen liquor jugs!!!......")
+	enc, err := rlnc.NewEncoder([][]byte{payloadA, payloadB})
+	if err != nil {
+		panic(err)
+	}
+	dec := rlnc.NewDecoder(2, len(payloadA))
+
+	// Both packets broadcast together in two consecutive slots; the base
+	// station receives two random linear combinations.
+	for slot := 0; !dec.Complete(); slot++ {
+		s, err := enc.Slot([]int{0, 1}, r)
+		if err != nil {
+			panic(err)
+		}
+		innovative := dec.Add(s)
+		fmt.Printf("  slot %d: coefficients [%3d %3d]  innovative=%v rank=%d/2\n",
+			slot, s.Coeffs[0], s.Coeffs[1], innovative, dec.Rank())
+	}
+	fmt.Printf("  decoded A: %q\n", dec.Decoded(0))
+	fmt.Printf("  decoded B: %q\n", dec.Decoded(1))
+	fmt.Println("\nBoth mechanisms realize the model's rule: j overlapping packets need j good slots.")
+}

@@ -1,0 +1,151 @@
+// Package asciiplot renders line plots as text, so the benchmark harness
+// can regenerate the paper's figures in a terminal: each figure is a
+// titled grid with one or more series drawn as characters.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Plot is a renderable chart.  Configure the fields, add series, call
+// Render.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot-area columns (default 64)
+	Height int // plot-area rows (default 16)
+	LogY   bool
+
+	series []Series
+}
+
+// markers cycles through the glyphs assigned to successive series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Add appends a series; X and Y must have equal nonzero length.
+func (p *Plot) Add(s Series) {
+	if len(s.X) != len(s.Y) {
+		panic("asciiplot: series length mismatch")
+	}
+	if len(s.X) == 0 {
+		panic("asciiplot: empty series")
+	}
+	p.series = append(p.series, s)
+}
+
+// Render draws the chart.
+func (p *Plot) Render() string {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	if len(p.series) == 0 {
+		return p.Title + "\n(no data)\n"
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if p.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return p.Title + "\n(no plottable data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.series {
+		marker := markers[si%len(markers)]
+		for i := range s.X {
+			y := s.Y[i]
+			if p.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			col := int(float64(width-1) * (s.X[i] - xmin) / (xmax - xmin))
+			row := height - 1 - int(float64(height-1)*(y-ymin)/(ymax-ymin))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	yLo, yHi := ymin, ymax
+	if p.LogY {
+		yLo, yHi = math.Pow(10, ymin), math.Pow(10, ymax)
+	}
+	labelHi := fmt.Sprintf("%.4g", yHi)
+	labelLo := fmt.Sprintf("%.4g", yLo)
+	pad := len(labelHi)
+	if len(labelLo) > pad {
+		pad = len(labelLo)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, labelHi)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, labelLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", pad), width-len(fmt.Sprintf("%.4g", xmax)),
+		fmt.Sprintf("%.4g", xmin), fmt.Sprintf("%.4g", xmax))
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s", strings.Repeat(" ", pad), p.XLabel)
+		if p.YLabel != "" {
+			fmt.Fprintf(&b, "   y: %s", p.YLabel)
+			if p.LogY {
+				b.WriteString(" (log scale)")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(p.series) > 1 || p.series[0].Name != "" {
+		fmt.Fprintf(&b, "%s  legend:", strings.Repeat(" ", pad))
+		for si, s := range p.series {
+			fmt.Fprintf(&b, " %c=%s", markers[si%len(markers)], s.Name)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

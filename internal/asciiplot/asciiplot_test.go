@@ -1,0 +1,109 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	p := Plot{Title: "test plot", XLabel: "x", YLabel: "y", Width: 20, Height: 5}
+	p.Add(Series{Name: "line", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}})
+	out := p.Render()
+	if !strings.Contains(out, "test plot") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("marker missing")
+	}
+	if !strings.Contains(out, "legend: *=line") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "x: x") {
+		t.Fatal("axis label missing")
+	}
+}
+
+func TestRenderMultipleSeries(t *testing.T) {
+	p := Plot{Width: 30, Height: 8}
+	p.Add(Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}})
+	p.Add(Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}})
+	out := p.Render()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	p := Plot{Width: 30, Height: 8, LogY: true, YLabel: "v"}
+	p.Add(Series{Name: "exp", X: []float64{0, 1, 2, 3}, Y: []float64{1, 10, 100, 1000}})
+	out := p.Render()
+	if !strings.Contains(out, "log scale") {
+		t.Fatal("log marker missing")
+	}
+	if !strings.Contains(out, "1000") {
+		t.Fatalf("log axis label missing:\n%s", out)
+	}
+	// In log scale, the exponential series is a straight diagonal; the
+	// top-right and bottom-left corners must both be set.
+	lines := strings.Split(out, "\n")
+	var gridLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			gridLines = append(gridLines, l[strings.Index(l, "|"):])
+		}
+	}
+	if len(gridLines) != 8 {
+		t.Fatalf("grid has %d rows", len(gridLines))
+	}
+	if !strings.Contains(gridLines[0], "*") || !strings.Contains(gridLines[7], "*") {
+		t.Fatalf("log plot endpoints missing:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	p := Plot{Width: 10, Height: 4}
+	p.Add(Series{Name: "flat", X: []float64{0, 1, 2}, Y: []float64{5, 5, 5}})
+	out := p.Render()
+	if out == "" || !strings.Contains(out, "*") {
+		t.Fatalf("constant series failed:\n%s", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	p := Plot{Width: 10, Height: 4}
+	p.Add(Series{Name: "dot", X: []float64{1}, Y: []float64{1}})
+	if out := p.Render(); !strings.Contains(out, "*") {
+		t.Fatalf("single point missing:\n%s", out)
+	}
+}
+
+func TestRenderNoData(t *testing.T) {
+	p := Plot{Title: "empty"}
+	if out := p.Render(); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot: %q", out)
+	}
+}
+
+func TestRenderLogAllNonPositive(t *testing.T) {
+	p := Plot{LogY: true}
+	p.Add(Series{Name: "z", X: []float64{0, 1}, Y: []float64{0, -1}})
+	if out := p.Render(); !strings.Contains(out, "no plottable data") {
+		t.Fatalf("nonpositive log plot: %q", out)
+	}
+}
+
+func TestAddPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"mismatch": func() { (&Plot{}).Add(Series{X: []float64{1}, Y: nil}) },
+		"empty":    func() { (&Plot{}).Add(Series{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

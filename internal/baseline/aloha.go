@@ -1,0 +1,132 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// SlottedAloha is slotted ALOHA: every pending packet transmits in every
+// slot independently with probability p.  Two variants:
+//
+//   - static p (NewSlottedAloha): the textbook protocol, whose classical
+//     throughput peaks at 1/e when p ≈ 1/n;
+//   - genie-aided (NewGenieAloha): p = c/backlog each slot, an oracle that
+//     knows the exact backlog — the strongest version of ALOHA, used as
+//     the 1/e reference line.
+//
+// ALOHA ignores all feedback except its own delivery, so it needs no
+// adaptation for the coded channel.
+type SlottedAloha struct {
+	rand    *rng.Rand
+	p       float64 // static probability; 0 means genie mode
+	c       float64 // genie numerator (target expected transmitters)
+	ids     []channel.PacketID
+	loc     map[channel.PacketID]int
+	stats   AlohaStats
+	scratch []int
+}
+
+// AlohaStats aggregates counters for an ALOHA execution.
+type AlohaStats struct {
+	Transmissions int64
+	Delivered     int64
+}
+
+var _ protocol.Protocol = (*SlottedAloha)(nil)
+
+// NewSlottedAloha returns slotted ALOHA with fixed transmission
+// probability p in (0, 1].
+func NewSlottedAloha(r *rng.Rand, p float64) *SlottedAloha {
+	if r == nil {
+		panic("baseline: nil rng")
+	}
+	if p <= 0 || p > 1 {
+		panic("baseline: ALOHA probability must be in (0,1]")
+	}
+	return &SlottedAloha{rand: r, p: p, loc: make(map[channel.PacketID]int)}
+}
+
+// NewGenieAloha returns backlog-aware ALOHA transmitting with probability
+// min(1, c/backlog) each slot.  c = 1 maximizes classical throughput at
+// 1/e.
+func NewGenieAloha(r *rng.Rand, c float64) *SlottedAloha {
+	if r == nil {
+		panic("baseline: nil rng")
+	}
+	if c <= 0 {
+		panic("baseline: genie numerator must be positive")
+	}
+	return &SlottedAloha{rand: r, c: c, loc: make(map[channel.PacketID]int)}
+}
+
+// Name implements protocol.Protocol.
+func (a *SlottedAloha) Name() string {
+	if a.p > 0 {
+		return "slotted-aloha"
+	}
+	return "genie-aloha"
+}
+
+// Stats returns a copy of the accumulated counters.
+func (a *SlottedAloha) Stats() AlohaStats { return a.stats }
+
+// Pending implements protocol.Protocol.
+func (a *SlottedAloha) Pending() int { return len(a.ids) }
+
+// Inject implements protocol.Protocol.
+func (a *SlottedAloha) Inject(now int64, ids []channel.PacketID) {
+	for _, id := range ids {
+		if _, dup := a.loc[id]; dup {
+			panic(fmt.Sprintf("baseline: duplicate injection of packet %d", id))
+		}
+		a.loc[id] = len(a.ids)
+		a.ids = append(a.ids, id)
+	}
+}
+
+// Transmitters implements protocol.Protocol: every pending packet
+// transmits independently with the current probability.
+func (a *SlottedAloha) Transmitters(now int64, buf []channel.PacketID) []channel.PacketID {
+	n := len(a.ids)
+	if n == 0 {
+		return buf
+	}
+	p := a.p
+	if p == 0 { // genie mode
+		p = a.c / float64(n)
+		if p > 1 {
+			p = 1
+		}
+	}
+	a.scratch = a.rand.SampleIndices(a.scratch[:0], n, p)
+	for _, idx := range a.scratch {
+		buf = append(buf, a.ids[idx])
+	}
+	a.stats.Transmissions += int64(len(a.scratch))
+	return buf
+}
+
+// Observe implements protocol.Protocol: only deliveries matter.
+func (a *SlottedAloha) Observe(fb channel.Feedback) {
+	if fb.Event == nil {
+		return
+	}
+	for _, id := range fb.Event.Packets {
+		idx, ok := a.loc[id]
+		if !ok {
+			continue
+		}
+		last := len(a.ids) - 1
+		moved := a.ids[last]
+		a.ids[idx] = moved
+		a.ids = a.ids[:last]
+		if idx != last {
+			a.loc[moved] = idx
+		}
+		delete(a.loc, id)
+		a.stats.Delivered++
+	}
+}

@@ -1,0 +1,425 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// runBatch drives a protocol on a channel with a batch of n packets until
+// done or the slot limit, returning completion time (-1 if unfinished)
+// and the delivered count.
+func runBatch(p protocol.Protocol, ch *channel.Channel, n int, limit int64) (int64, int) {
+	ids := make([]channel.PacketID, n)
+	for i := range ids {
+		ids[i] = channel.PacketID(i)
+	}
+	p.Inject(0, ids)
+	delivered := 0
+	buf := make([]channel.PacketID, 0, 64)
+	for now := int64(0); now < limit; now++ {
+		buf = p.Transmitters(now, buf[:0])
+		class, ev := ch.Step(now, buf)
+		p.Observe(channel.Feedback{Slot: now, Silent: class == channel.Silent, Event: ev})
+		if ev != nil {
+			delivered += len(ev.Packets)
+		}
+		if p.Pending() == 0 {
+			return now + 1, delivered
+		}
+	}
+	return -1, delivered
+}
+
+func TestPopulationBasics(t *testing.T) {
+	p := newPopulation(0.25, 2, 1)
+	if p.Len() != 0 {
+		t.Fatal("new population not empty")
+	}
+	p.Add(1)
+	p.Add(2)
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	c, pmin := p.Contention()
+	if math.Abs(c-0.5) > 1e-12 || math.Abs(pmin-0.25) > 1e-12 {
+		t.Fatalf("contention %v pmin %v", c, pmin)
+	}
+	if !p.Remove(1) {
+		t.Fatal("Remove(1) failed")
+	}
+	if p.Remove(1) {
+		t.Fatal("double Remove succeeded")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len after remove = %d", p.Len())
+	}
+}
+
+func TestPopulationDuplicatePanics(t *testing.T) {
+	p := newPopulation(0.25, 2, 1)
+	p.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Add did not panic")
+		}
+	}()
+	p.Add(1)
+}
+
+func TestPopulationShiftAndCap(t *testing.T) {
+	p := newPopulation(0.25, 2, 1)
+	p.Add(1)
+	p.Shift(1)
+	c, _ := p.Contention()
+	if math.Abs(c-0.5) > 1e-12 {
+		t.Fatalf("after one up-shift contention %v, want 0.5", c)
+	}
+	p.Shift(1)
+	if c, _ = p.Contention(); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("after two up-shifts contention %v, want 1 (capped)", c)
+	}
+	p.Shift(1) // capped: stays at 1
+	if c, _ = p.Contention(); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("cap exceeded: contention %v", c)
+	}
+	p.Shift(-1)
+	if c, _ = p.Contention(); math.Abs(c-0.5) > 1e-12 {
+		t.Fatalf("down-shift after cap: contention %v, want 0.5", c)
+	}
+}
+
+func TestPopulationCapMergesDistinctExponents(t *testing.T) {
+	p := newPopulation(0.25, 2, 1)
+	p.Add(1)   // exponent 0
+	p.Shift(1) // packet 1 at exponent 1 (p=1/2)
+	p.Add(2)   // packet 2 at exponent 0 (p=1/4)
+	p.Shift(1) // p1 capped at 1, p2 at 1/2
+	p.Shift(1) // p1 stays 1, p2 capped at 1
+	c, pmin := p.Contention()
+	if math.Abs(c-2) > 1e-12 || math.Abs(pmin-1) > 1e-12 {
+		t.Fatalf("contention %v pmin %v, want 2, 1", c, pmin)
+	}
+	// One down-shift: both leave the cap together (they merged).
+	p.Shift(-1)
+	c, pmin = p.Contention()
+	if math.Abs(c-1) > 1e-12 || math.Abs(pmin-0.5) > 1e-12 {
+		t.Fatalf("after merge+down contention %v pmin %v, want 1, 0.5", c, pmin)
+	}
+}
+
+func TestPopulationSampleMean(t *testing.T) {
+	p := newPopulation(0.1, 2, 1)
+	r := rng.New(4)
+	for i := 0; i < 1000; i++ {
+		p.Add(channel.PacketID(i))
+	}
+	total := 0
+	const slots = 2000
+	var buf []channel.PacketID
+	for i := 0; i < slots; i++ {
+		buf = p.Sample(r, buf[:0])
+		total += len(buf)
+	}
+	mean := float64(total) / slots
+	if math.Abs(mean-100) > 5 {
+		t.Fatalf("sample mean %v, want ~100", mean)
+	}
+}
+
+func TestPopulationValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"p0 zero":    func() { newPopulation(0, 2, 1) },
+		"factor one": func() { newPopulation(0.5, 1, 1) },
+		"pmax zero":  func() { newPopulation(0.5, 2, 0) },
+		"bad shift":  func() { newPopulation(0.5, 2, 1).Shift(2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBEBBatchClassical(t *testing.T) {
+	const n = 200
+	e := NewExponentialBackoff(rng.New(1))
+	ch := channel.New(1, 0) // classical radio model
+	done, delivered := runBatch(e, ch, n, 200_000)
+	if done < 0 {
+		t.Fatalf("BEB did not finish %d packets (delivered %d)", n, delivered)
+	}
+	if delivered != n {
+		t.Fatalf("delivered %d of %d", delivered, n)
+	}
+	st := e.Stats()
+	if st.Delivered != n {
+		t.Fatalf("stats delivered %d", st.Delivered)
+	}
+	// BEB takes Θ(n log n) on a batch; sanity: slower than capacity.
+	if done < n {
+		t.Fatalf("BEB finished faster than channel capacity: %d < %d", done, n)
+	}
+	t.Logf("BEB batch n=%d: %d slots (throughput %.3f), max window %d",
+		n, done, float64(n)/float64(done), st.MaxWindow)
+}
+
+func TestBEBValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"nil rng":  func() { NewExponentialBackoff(nil) },
+		"window 0": func() { NewBackoff(rng.New(1), 0, 2) },
+		"base 1":   func() { NewBackoff(rng.New(1), 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBEBDuplicateInjectPanics(t *testing.T) {
+	e := NewExponentialBackoff(rng.New(1))
+	e.Inject(0, []channel.PacketID{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate inject did not panic")
+		}
+	}()
+	e.Inject(1, []channel.PacketID{1})
+}
+
+func TestBEBNextWake(t *testing.T) {
+	e := NewExponentialBackoff(rng.New(2))
+	if e.NextWake(0) != -1 {
+		t.Fatal("empty BEB has a wake time")
+	}
+	e.Inject(0, []channel.PacketID{1})
+	w := e.NextWake(0)
+	if w != 1 {
+		t.Fatalf("initial wake %d, want 1 (window 1)", w)
+	}
+}
+
+func TestBEBSingletonDeliveredImmediately(t *testing.T) {
+	e := NewExponentialBackoff(rng.New(3))
+	ch := channel.New(1, 0)
+	done, _ := runBatch(e, ch, 1, 100)
+	if done < 0 || done > 3 {
+		t.Fatalf("lone packet took %d slots", done)
+	}
+}
+
+func TestAlohaStaticBatch(t *testing.T) {
+	const n = 100
+	a := NewSlottedAloha(rng.New(5), 1.0/n)
+	ch := channel.New(1, 0)
+	done, delivered := runBatch(a, ch, n, 100_000)
+	if done < 0 {
+		t.Fatalf("ALOHA did not finish (delivered %d)", delivered)
+	}
+	if delivered != n {
+		t.Fatalf("delivered %d of %d", delivered, n)
+	}
+}
+
+func TestGenieAlohaThroughputNearOneOverE(t *testing.T) {
+	// With p = 1/backlog, success probability per slot is ~1/e while the
+	// backlog is large.  Measure over the first half of a big batch.
+	const n = 5000
+	a := NewGenieAloha(rng.New(7), 1)
+	ch := channel.New(1, 0)
+	ids := make([]channel.PacketID, n)
+	for i := range ids {
+		ids[i] = channel.PacketID(i)
+	}
+	a.Inject(0, ids)
+	buf := make([]channel.PacketID, 0, 64)
+	var now int64
+	for ; a.Pending() > n/2; now++ {
+		buf = a.Transmitters(now, buf[:0])
+		class, ev := ch.Step(now, buf)
+		a.Observe(channel.Feedback{Slot: now, Silent: class == channel.Silent, Event: ev})
+	}
+	throughput := float64(n/2) / float64(now)
+	if math.Abs(throughput-1/math.E) > 0.03 {
+		t.Fatalf("genie ALOHA throughput %.4f, want ~%.4f", throughput, 1/math.E)
+	}
+}
+
+func TestAlohaValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"nil rng":   func() { NewSlottedAloha(nil, 0.5) },
+		"p zero":    func() { NewSlottedAloha(rng.New(1), 0) },
+		"p high":    func() { NewSlottedAloha(rng.New(1), 1.5) },
+		"genie nil": func() { NewGenieAloha(nil, 1) },
+		"genie c":   func() { NewGenieAloha(rng.New(1), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAlohaNames(t *testing.T) {
+	if NewSlottedAloha(rng.New(1), 0.5).Name() != "slotted-aloha" {
+		t.Fatal("static name wrong")
+	}
+	if NewGenieAloha(rng.New(1), 1).Name() != "genie-aloha" {
+		t.Fatal("genie name wrong")
+	}
+}
+
+func TestMWBatchClassical(t *testing.T) {
+	const n = 300
+	m := NewMultiplicativeWeights(rng.New(9), DefaultMWConfig())
+	ch := channel.New(1, 0)
+	done, delivered := runBatch(m, ch, n, 100_000)
+	if done < 0 {
+		t.Fatalf("MW did not finish (delivered %d)", delivered)
+	}
+	if delivered != n {
+		t.Fatalf("delivered %d of %d", delivered, n)
+	}
+	st := m.Stats()
+	if st.UpSteps == 0 || st.DownSteps == 0 {
+		t.Fatalf("MW never adapted: %+v", st)
+	}
+	t.Logf("MW batch n=%d: %d slots (throughput %.3f)", n, done, float64(n)/float64(done))
+}
+
+func TestMWContentionTracksTarget(t *testing.T) {
+	// Under sustained moderate load, MW should keep contention near 1
+	// (its implicit target on the classical channel), not diverge.
+	m := NewMultiplicativeWeights(rng.New(11), DefaultMWConfig())
+	ch := channel.New(1, 0)
+	buf := make([]channel.PacketID, 0, 16)
+	var nextID channel.PacketID
+	for now := int64(0); now < 20000; now++ {
+		if now%5 == 0 { // load 0.2 << 1/e
+			m.Inject(now, []channel.PacketID{nextID})
+			nextID++
+		}
+		buf = m.Transmitters(now, buf[:0])
+		class, ev := ch.Step(now, buf)
+		m.Observe(channel.Feedback{Slot: now, Silent: class == channel.Silent, Event: ev})
+	}
+	if m.Pending() > 500 {
+		t.Fatalf("MW diverged at load 0.2: backlog %d", m.Pending())
+	}
+}
+
+func TestMWNilRngPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil rng did not panic")
+		}
+	}()
+	NewMultiplicativeWeights(nil, DefaultMWConfig())
+}
+
+// TestProtocolsOnCodedChannel: all baselines remain correct (conservation
+// and eventual completion) on a coded channel with κ > 1.
+func TestProtocolsOnCodedChannel(t *testing.T) {
+	const n, kappa = 150, 8
+	protos := map[string]protocol.Protocol{
+		"beb":   NewExponentialBackoff(rng.New(21)),
+		"aloha": NewGenieAloha(rng.New(22), 1),
+		"mw":    NewMultiplicativeWeights(rng.New(23), DefaultMWConfig()),
+	}
+	for name, p := range protos {
+		ch := channel.New(kappa, 4*kappa)
+		done, delivered := runBatch(p, ch, n, 300_000)
+		if done < 0 {
+			t.Fatalf("%s did not finish on coded channel (delivered %d)", name, delivered)
+		}
+		if delivered != n {
+			t.Fatalf("%s delivered %d of %d", name, delivered, n)
+		}
+	}
+}
+
+func BenchmarkBEBBatch1k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewExponentialBackoff(rng.New(uint64(i)))
+		ch := channel.New(1, 0)
+		if done, _ := runBatch(e, ch, 1000, 10_000_000); done < 0 {
+			b.Fatal("unfinished")
+		}
+	}
+}
+
+func BenchmarkGenieAlohaBatch1k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := NewGenieAloha(rng.New(uint64(i)), 1)
+		ch := channel.New(1, 0)
+		if done, _ := runBatch(a, ch, 1000, 10_000_000); done < 0 {
+			b.Fatal("unfinished")
+		}
+	}
+}
+
+func TestPolynomialBackoffBatch(t *testing.T) {
+	const n = 150
+	p := NewPolynomialBackoff(rng.New(41), 2)
+	ch := channel.New(1, 0)
+	done, delivered := runBatch(p, ch, n, 500_000)
+	if done < 0 {
+		t.Fatalf("polynomial backoff did not finish (delivered %d)", delivered)
+	}
+	if delivered != n {
+		t.Fatalf("delivered %d of %d", delivered, n)
+	}
+	if p.Name() != "polynomial-backoff(2)" {
+		t.Fatalf("name %q", p.Name())
+	}
+}
+
+func TestPolynomialWindowGrowth(t *testing.T) {
+	p := NewPolynomialBackoff(rng.New(1), 2)
+	for _, tc := range []struct{ k, want int64 }{{0, 1}, {1, 4}, {2, 9}, {9, 100}} {
+		if got := p.windowFn(tc.k); got != tc.want {
+			t.Fatalf("windowFn(%d) = %d, want %d", tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestPolynomialValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"nil rng": func() { NewPolynomialBackoff(nil, 2) },
+		"exp 0":   func() { NewPolynomialBackoff(rng.New(1), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestExponentialWindowOverflowClamped(t *testing.T) {
+	p := NewBackoff(rng.New(1), 1, 2)
+	if w := p.windowFn(100); w != 1<<40 {
+		t.Fatalf("window not clamped: %d", w)
+	}
+}

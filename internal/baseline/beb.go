@@ -1,0 +1,221 @@
+package baseline
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/channel"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// BEBStats aggregates counters for a backoff execution.
+type BEBStats struct {
+	Transmissions int64
+	Failures      int64
+	Delivered     int64
+	MaxWindow     int64
+}
+
+// Backoff is a window-based backoff protocol: each packet transmits at a
+// uniformly random slot of its current window, and every failed attempt
+// grows the window per the protocol's schedule.  Constructors:
+//
+//   - NewExponentialBackoff: classic binary exponential backoff
+//     (Ethernet/802.11 style), window doubling;
+//   - NewBackoff: exponential with configurable initial window and base;
+//   - NewPolynomialBackoff: window (k+1)^p after k failures — the
+//     polynomial-backoff family studied alongside exponential in the
+//     contention-resolution literature.
+//
+// Feedback adaptation for the coded channel: the protocol is ack-based —
+// a packet treats "transmitted and not delivered in that same slot" as a
+// failure.  On the classical channel (κ = 1) this is exact; on a coded
+// channel (κ > 1) it is pessimistic, since a later decoding window can
+// still deliver the packet, in which case it simply leaves the system.
+type Backoff struct {
+	rand     *rng.Rand
+	name     string
+	windowFn func(failures int64) int64
+
+	sched    txHeap
+	failures map[channel.PacketID]int64
+	inFlight []channel.PacketID
+	pending  int
+	stats    BEBStats
+}
+
+// ExponentialBackoff is the name the rest of the repository uses for the
+// classic protocol.
+type ExponentialBackoff = Backoff
+
+var _ protocol.Protocol = (*Backoff)(nil)
+var _ protocol.Waker = (*Backoff)(nil)
+
+// NewExponentialBackoff returns binary exponential backoff (initial
+// window 1, doubling) using the given random stream.
+func NewExponentialBackoff(r *rng.Rand) *Backoff {
+	return NewBackoff(r, 1, 2)
+}
+
+// NewBackoff returns generalized exponential backoff with the given
+// initial window and window growth base (> 1): after k failures the
+// window is initialWindow·base^k.
+func NewBackoff(r *rng.Rand, initialWindow int64, base float64) *Backoff {
+	if r == nil {
+		panic("baseline: nil rng")
+	}
+	if initialWindow < 1 {
+		panic("baseline: initial window must be at least 1")
+	}
+	if base <= 1 {
+		panic("baseline: backoff base must exceed 1")
+	}
+	return &Backoff{
+		rand:     r,
+		name:     "exponential-backoff",
+		failures: make(map[channel.PacketID]int64),
+		windowFn: func(k int64) int64 {
+			w := float64(initialWindow) * math.Pow(base, float64(k))
+			if w > 1<<40 {
+				return 1 << 40
+			}
+			if w < 1 {
+				return 1
+			}
+			return int64(w)
+		},
+	}
+}
+
+// NewPolynomialBackoff returns polynomial backoff: after k failures the
+// window is (k+1)^exp.  exp must be positive; exp = 2 (quadratic) is the
+// commonly analyzed variant.
+func NewPolynomialBackoff(r *rng.Rand, exp float64) *Backoff {
+	if r == nil {
+		panic("baseline: nil rng")
+	}
+	if exp <= 0 {
+		panic("baseline: polynomial exponent must be positive")
+	}
+	return &Backoff{
+		rand:     r,
+		name:     fmt.Sprintf("polynomial-backoff(%g)", exp),
+		failures: make(map[channel.PacketID]int64),
+		windowFn: func(k int64) int64 {
+			w := math.Pow(float64(k+1), exp)
+			if w > 1<<40 {
+				return 1 << 40
+			}
+			if w < 1 {
+				return 1
+			}
+			return int64(w)
+		},
+	}
+}
+
+// Name implements protocol.Protocol.
+func (e *Backoff) Name() string { return e.name }
+
+// Stats returns a copy of the accumulated counters.
+func (e *Backoff) Stats() BEBStats { return e.stats }
+
+// Pending implements protocol.Protocol.
+func (e *Backoff) Pending() int { return e.pending }
+
+// Inject implements protocol.Protocol: each arrival is scheduled at a
+// uniform slot of its initial window, starting next slot.
+func (e *Backoff) Inject(now int64, ids []channel.PacketID) {
+	for _, id := range ids {
+		if _, dup := e.failures[id]; dup {
+			panic(fmt.Sprintf("baseline: duplicate injection of packet %d", id))
+		}
+		e.failures[id] = 0
+		e.pending++
+		heap.Push(&e.sched, txEntry{slot: now + 1 + e.rand.Int63n(e.windowFn(0)), id: id})
+	}
+}
+
+// Transmitters implements protocol.Protocol: pops every packet scheduled
+// for this slot.
+func (e *Backoff) Transmitters(now int64, buf []channel.PacketID) []channel.PacketID {
+	e.inFlight = e.inFlight[:0]
+	for len(e.sched) > 0 && e.sched[0].slot <= now {
+		entry := heap.Pop(&e.sched).(txEntry)
+		if _, alive := e.failures[entry.id]; !alive {
+			continue // delivered earlier by a wider decoding window
+		}
+		e.inFlight = append(e.inFlight, entry.id)
+	}
+	e.stats.Transmissions += int64(len(e.inFlight))
+	return append(buf, e.inFlight...)
+}
+
+// Observe implements protocol.Protocol: deliveries remove packets;
+// transmitted-but-undelivered packets grow their windows and reschedule.
+func (e *Backoff) Observe(fb channel.Feedback) {
+	if fb.Event != nil {
+		for _, id := range fb.Event.Packets {
+			if _, ok := e.failures[id]; ok {
+				delete(e.failures, id)
+				e.pending--
+				e.stats.Delivered++
+			}
+		}
+	}
+	for _, id := range e.inFlight {
+		k, ok := e.failures[id]
+		if !ok {
+			continue // delivered this slot
+		}
+		e.stats.Failures++
+		k++
+		e.failures[id] = k
+		w := e.windowFn(k)
+		if w > e.stats.MaxWindow {
+			e.stats.MaxWindow = w
+		}
+		heap.Push(&e.sched, txEntry{slot: fb.Slot + 1 + e.rand.Int63n(w), id: id})
+	}
+	e.inFlight = e.inFlight[:0]
+}
+
+// NextWake implements protocol.Waker: the earliest scheduled
+// transmission.  Backoff ignores silence, so the engine may skip the
+// quiet slots in between.
+func (e *Backoff) NextWake(now int64) int64 {
+	for len(e.sched) > 0 {
+		if _, alive := e.failures[e.sched[0].id]; !alive {
+			heap.Pop(&e.sched)
+			continue
+		}
+		if e.sched[0].slot < now {
+			return now
+		}
+		return e.sched[0].slot
+	}
+	return -1
+}
+
+// txEntry is a scheduled transmission.
+type txEntry struct {
+	slot int64
+	id   channel.PacketID
+}
+
+// txHeap is a min-heap of scheduled transmissions ordered by slot.
+type txHeap []txEntry
+
+func (h txHeap) Len() int            { return len(h) }
+func (h txHeap) Less(i, j int) bool  { return h[i].slot < h[j].slot }
+func (h txHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *txHeap) Push(x interface{}) { *h = append(*h, x.(txEntry)) }
+func (h *txHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

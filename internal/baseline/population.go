@@ -1,0 +1,274 @@
+// Package baseline implements the contention-resolution protocols the
+// paper compares against analytically: binary exponential backoff
+// (Metcalfe & Boggs), slotted ALOHA (Abramson/Roberts), and a
+// Chang–Jin–Pettie-style multiplicative-weights protocol (SOSA 2019).
+// All of them run on the same Coded Radio Network Model channel as the
+// Decodable Backoff Algorithm; with κ = 1 the channel degenerates to the
+// classical radio model these protocols were designed for.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/channel"
+	"repro/internal/rng"
+)
+
+// population stores packets whose transmission probabilities share the
+// form clamp(p0·f^e) for integer exponents e, bucketed by exponent with a
+// global lazy shift.  A uniform multiplicative update is O(1) bucket
+// bookkeeping instead of O(n), and per-slot transmitter sampling is
+// O(expected transmitters + #buckets) via geometric skipping.
+//
+// Probabilities saturate at pMax above and pFloor below.  Saturated
+// buckets are relabeled (an O(1) pointer operation), not rebuilt, when
+// the shift moves — and when a relabel collides with an existing bucket
+// the smaller side is folded into the larger (union by size), so a
+// protocol that shifts every slot (multiplicative weights under
+// overload) costs amortized O(log n) moves per packet instead of O(n)
+// per slot.
+type population struct {
+	p0     float64
+	factor float64
+	eCap   int // exponent where the probability saturates at pMax
+	eFloor int // exponent where the probability saturates at pFloor
+	pMax   float64
+
+	shift   int
+	buckets []*popBucket // sorted by base
+	byBase  map[int]*popBucket
+	loc     map[channel.PacketID]popLoc
+	size    int
+	scratch []int
+}
+
+// pFloor bounds probabilities from below: values this small are
+// behaviourally indistinguishable (a packet at 1e-9 transmits roughly
+// never), and the floor keeps the bucket count bounded by the exponent
+// range.
+const pFloor = 1e-9
+
+type popBucket struct {
+	base int
+	ids  []channel.PacketID
+}
+
+type popLoc struct {
+	b   *popBucket
+	idx int
+}
+
+// newPopulation returns an empty population with activation probability
+// p0, update factor f > 1, and probability ceiling pMax.
+func newPopulation(p0, factor, pMax float64) *population {
+	if p0 <= 0 || p0 > 1 {
+		panic("baseline: p0 must be in (0,1]")
+	}
+	if factor <= 1 {
+		panic("baseline: factor must exceed 1")
+	}
+	if pMax <= 0 || pMax > 1 {
+		panic("baseline: pMax must be in (0,1]")
+	}
+	p := &population{
+		p0:     p0,
+		factor: factor,
+		pMax:   pMax,
+		byBase: make(map[int]*popBucket),
+		loc:    make(map[channel.PacketID]popLoc),
+	}
+	p.eCap = int(math.Ceil(math.Log(pMax/p0) / math.Log(factor)))
+	if p.eCap < 0 {
+		p.eCap = 0
+	}
+	p.eFloor = -int(math.Ceil(math.Log(p0/pFloor)/math.Log(factor))) - 1
+	if p.eFloor > 0 {
+		p.eFloor = 0
+	}
+	return p
+}
+
+// prob returns the probability at effective exponent e.
+func (p *population) prob(e int) float64 {
+	if e >= p.eCap {
+		return p.pMax
+	}
+	if e <= p.eFloor {
+		return pFloor
+	}
+	v := p.p0 * math.Pow(p.factor, float64(e))
+	if v > p.pMax {
+		return p.pMax
+	}
+	if v < pFloor {
+		return pFloor
+	}
+	return v
+}
+
+// Len returns the number of packets in the population.
+func (p *population) Len() int { return p.size }
+
+// Add inserts a packet at exponent 0 (probability p0).  It panics on a
+// duplicate ID.
+func (p *population) Add(id channel.PacketID) {
+	if _, dup := p.loc[id]; dup {
+		panic(fmt.Sprintf("baseline: duplicate packet %d", id))
+	}
+	b := p.getBucket(0 - p.shift)
+	p.loc[id] = popLoc{b: b, idx: len(b.ids)}
+	b.ids = append(b.ids, id)
+	p.size++
+}
+
+// Remove deletes a packet if present, reporting whether it was.
+func (p *population) Remove(id channel.PacketID) bool {
+	l, ok := p.loc[id]
+	if !ok {
+		return false
+	}
+	b := l.b
+	last := len(b.ids) - 1
+	moved := b.ids[last]
+	b.ids[l.idx] = moved
+	b.ids = b.ids[:last]
+	if l.idx != last {
+		p.loc[moved] = popLoc{b: b, idx: l.idx}
+	}
+	delete(p.loc, id)
+	p.size--
+	if len(b.ids) == 0 {
+		p.dropBucket(b)
+	}
+	return true
+}
+
+// Shift applies one multiplicative update step to every packet:
+// delta = +1 multiplies every probability by the factor (saturating at
+// pMax), delta = -1 divides (saturating at pFloor).
+func (p *population) Shift(delta int) {
+	if delta != 1 && delta != -1 {
+		panic("baseline: Shift delta must be ±1")
+	}
+	p.shift += delta
+	if delta == 1 {
+		p.saturate(p.eCap-p.shift, 1)
+	} else {
+		p.saturate(p.eFloor-p.shift, -1)
+	}
+}
+
+// saturate folds buckets past the saturation boundary back onto it.
+// dir = +1 handles the cap (bases above boundary), dir = -1 the floor
+// (bases below).  After a single ±1 shift at most one bucket sits past
+// the boundary (the previously saturated one, now one step beyond), so
+// this relabels one bucket in O(1), or merges by size on collision.
+func (p *population) saturate(boundary, dir int) {
+	for {
+		var past *popBucket
+		for _, b := range p.buckets {
+			if (dir > 0 && b.base > boundary) || (dir < 0 && b.base < boundary) {
+				past = b
+				break
+			}
+		}
+		if past == nil {
+			return
+		}
+		if at, exists := p.byBase[boundary]; exists {
+			p.mergeInto(past, at)
+		} else {
+			p.relabel(past, boundary)
+		}
+	}
+}
+
+// relabel changes a bucket's base without touching its members.
+func (p *population) relabel(b *popBucket, newBase int) {
+	delete(p.byBase, b.base)
+	b.base = newBase
+	p.byBase[newBase] = b
+	sort.Slice(p.buckets, func(i, j int) bool { return p.buckets[i].base < p.buckets[j].base })
+}
+
+// mergeInto merges the smaller of a, b into the larger and leaves the
+// result at b's base (union by size keeps amortized move cost O(log n)
+// per packet).
+func (p *population) mergeInto(a, b *popBucket) {
+	if len(a.ids) > len(b.ids) {
+		// Move b's members into a, then relabel a to b's base.
+		base := b.base
+		p.moveAll(b, a)
+		p.relabel(a, base)
+		return
+	}
+	p.moveAll(a, b)
+}
+
+// moveAll empties src into dst and drops src.
+func (p *population) moveAll(src, dst *popBucket) {
+	for _, id := range src.ids {
+		p.loc[id] = popLoc{b: dst, idx: len(dst.ids)}
+		dst.ids = append(dst.ids, id)
+	}
+	src.ids = src.ids[:0]
+	p.dropBucket(src)
+}
+
+// Sample appends, to dst, each packet independently with its current
+// probability, and returns the extended slice.
+func (p *population) Sample(r *rng.Rand, dst []channel.PacketID) []channel.PacketID {
+	for _, b := range p.buckets {
+		if len(b.ids) == 0 {
+			continue
+		}
+		prob := p.prob(b.base + p.shift)
+		p.scratch = r.SampleIndices(p.scratch[:0], len(b.ids), prob)
+		for _, idx := range p.scratch {
+			dst = append(dst, b.ids[idx])
+		}
+	}
+	return dst
+}
+
+// Contention returns the sum of probabilities and the minimum probability
+// (1 if empty).
+func (p *population) Contention() (c, pMin float64) {
+	pMin = 1
+	for _, b := range p.buckets {
+		if len(b.ids) == 0 {
+			continue
+		}
+		prob := p.prob(b.base + p.shift)
+		c += float64(len(b.ids)) * prob
+		if prob < pMin {
+			pMin = prob
+		}
+	}
+	return c, pMin
+}
+
+func (p *population) getBucket(base int) *popBucket {
+	if b, ok := p.byBase[base]; ok {
+		return b
+	}
+	b := &popBucket{base: base}
+	p.byBase[base] = b
+	i := sort.Search(len(p.buckets), func(i int) bool { return p.buckets[i].base >= base })
+	p.buckets = append(p.buckets, nil)
+	copy(p.buckets[i+1:], p.buckets[i:])
+	p.buckets[i] = b
+	return b
+}
+
+func (p *population) dropBucket(b *popBucket) {
+	delete(p.byBase, b.base)
+	for i, bb := range p.buckets {
+		if bb == b {
+			p.buckets = append(p.buckets[:i], p.buckets[i+1:]...)
+			return
+		}
+	}
+}

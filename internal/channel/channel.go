@@ -1,0 +1,360 @@
+// Package channel implements the Coded Radio Network Model of Bender,
+// Gilbert, Kuhn, Kuszmaul, and Médard (SPAA 2022).
+//
+// Time is slotted.  In each slot some set of packets broadcasts.  A slot
+// is silent (no transmitters), good (1..κ transmitters), or bad (more
+// than κ, where κ is the hardware decoding threshold).  The base station
+// accumulates information from good slots and a decoding event of size j
+// fires at the first time t at which some window that begins with a good
+// slot, contains no earlier decoding event, and has at least j good slots
+// covers exactly j distinct broadcasting packets (Definition 1 of the
+// paper).  Decoded packets leave the system, and everything broadcast
+// before the event that was not part of its window is discarded —
+// decoding windows are disjoint.
+//
+// Devices hear only two things: whether a slot was silent, and decoding
+// events.  They cannot distinguish good slots from bad ones.  The
+// Feedback type exposes exactly that interface; the SlotClass returned by
+// Step is for the measurement harness only.
+package channel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PacketID identifies a packet in the system.  IDs are assigned by the
+// simulation engine in arrival order.
+type PacketID int64
+
+// SlotClass classifies a slot by its number of transmitters.
+type SlotClass uint8
+
+const (
+	// Silent means no packet broadcast in the slot.
+	Silent SlotClass = iota
+	// Good means between 1 and κ packets broadcast.
+	Good
+	// Bad means more than κ packets broadcast; the base station learns
+	// nothing from the slot.
+	Bad
+)
+
+// String returns the class name.
+func (c SlotClass) String() string {
+	switch c {
+	case Silent:
+		return "silent"
+	case Good:
+		return "good"
+	case Bad:
+		return "bad"
+	}
+	return fmt.Sprintf("SlotClass(%d)", uint8(c))
+}
+
+// Event is a decoding event: at slot Slot, the base station decodes
+// every packet that broadcast in a good slot of the window
+// [WindowStart, Slot].  Packets is sorted by ID.
+type Event struct {
+	Slot        int64
+	WindowStart int64
+	Packets     []PacketID
+}
+
+// Size returns the number of packets delivered by the event.
+func (e *Event) Size() int { return len(e.Packets) }
+
+// Feedback is everything a device can hear about a slot: silence, and
+// any decoding event.  Devices cannot tell good slots from bad ones.
+type Feedback struct {
+	Slot   int64
+	Silent bool
+	Event  *Event // nil if no decoding event occurred at this slot
+}
+
+// Stats aggregates channel-level counters over an execution.
+type Stats struct {
+	SilentSlots int64
+	GoodSlots   int64
+	BadSlots    int64
+	Events      int64
+	Delivered   int64
+	// PrunedPackets counts packets whose pending broadcast information
+	// was discarded because the decoding window length cap was exceeded.
+	PrunedPackets int64
+	// JammedSlots counts slots spoiled by jamming energy.
+	JammedSlots int64
+}
+
+// goodEntry records one good slot awaiting a decoding event: the slot
+// number and the packets whose most recent broadcast was in this slot.
+type goodEntry struct {
+	slot    int64
+	members []PacketID
+}
+
+type occRef struct {
+	abs int // absolute index of the goodEntry holding the packet
+	pos int // position within that entry's members slice
+}
+
+// Channel is the base station side of the Coded Radio Network Model.
+// It classifies slots and detects decoding events per Definition 1.
+// The zero value is not usable; call New.
+type Channel struct {
+	kappa     int
+	maxWindow int // 0 = unbounded
+
+	entries  []goodEntry // good slots since the last decoding event
+	firstAbs int         // absolute index of entries[0]
+	lastOcc  map[PacketID]occRef
+
+	stats Stats
+	// Duplicate detection uses a generation-stamped map so that no
+	// per-slot map clearing is needed: clear() on a Go map costs its
+	// historical capacity, which is ruinous after one huge bad slot.
+	seen    map[PacketID]uint64
+	seenGen uint64
+	// prevTxs caches the last validated transmitter list: epoch-based
+	// protocols resend identical sets for many consecutive slots, and an
+	// equality scan is far cheaper than re-hashing thousands of IDs.
+	prevTxs []PacketID
+}
+
+// New returns a channel with decoding threshold kappa.  maxWindow caps
+// the length (in slots) of any decoding window; information older than
+// the cap is discarded, mirroring a base station with bounded memory.
+// maxWindow = 0 means unbounded.  The paper notes windows of length O(κ)
+// suffice for the Decodable Backoff Algorithm; the harness default is 4κ.
+func New(kappa, maxWindow int) *Channel {
+	if kappa < 1 {
+		panic("channel: kappa must be at least 1")
+	}
+	if maxWindow < 0 {
+		panic("channel: negative maxWindow")
+	}
+	return &Channel{
+		kappa:     kappa,
+		maxWindow: maxWindow,
+		lastOcc:   make(map[PacketID]occRef),
+		seen:      make(map[PacketID]uint64),
+	}
+}
+
+// Kappa returns the decoding threshold.
+func (c *Channel) Kappa() int { return c.kappa }
+
+// MaxWindow returns the decoding window cap (0 = unbounded).
+func (c *Channel) MaxWindow() int { return c.maxWindow }
+
+// Stats returns a copy of the accumulated counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// AddSilent accounts n silent slots without stepping the channel.  The
+// simulation engine uses it when it fast-forwards through provably idle
+// stretches; silent slots never change detector state, so only the
+// counter needs updating.
+func (c *Channel) AddSilent(n int64) {
+	if n < 0 {
+		panic("channel: negative silent-slot count")
+	}
+	c.stats.SilentSlots += n
+}
+
+// Step processes one slot in which the given packets broadcast.  It
+// returns the slot class and the decoding event, if one fired.  Slots
+// must be fed in increasing time order.  Step panics if txs contains a
+// duplicate ID (one device cannot send two packets at once).
+func (c *Channel) Step(now int64, txs []PacketID) (SlotClass, *Event) {
+	return c.StepJammed(now, txs, false)
+}
+
+// StepJammed is Step with an adversarial jammer: when jammed is true,
+// noise energy occupies the slot.  A jammed slot is never silent (devices
+// hear the energy) and never good (the noise corrupts the superposition
+// beyond what the decoder can use), so it classifies as Bad even with
+// zero or few real transmitters.  Like any bad slot it contributes
+// nothing to decoding windows but does not break them.
+//
+// Jamming is not part of the paper's model; it probes the model's
+// reliance on the silence signal (see experiment E13 and the robustness
+// literature the paper cites, e.g. Awerbuch–Richa–Scheideler).
+func (c *Channel) StepJammed(now int64, txs []PacketID, jammed bool) (SlotClass, *Event) {
+	if jammed {
+		c.checkDuplicates(txs)
+		c.stats.BadSlots++
+		c.stats.JammedSlots++
+		return Bad, nil
+	}
+	switch {
+	case len(txs) == 0:
+		c.stats.SilentSlots++
+		return Silent, nil
+	case len(txs) > c.kappa:
+		c.checkDuplicates(txs)
+		c.stats.BadSlots++
+		return Bad, nil
+	}
+	c.checkDuplicates(txs)
+	c.stats.GoodSlots++
+	c.prune(now)
+	c.record(now, txs)
+	ev := c.detect(now)
+	if ev != nil {
+		c.stats.Events++
+		c.stats.Delivered += int64(len(ev.Packets))
+		c.reset()
+	}
+	return Good, ev
+}
+
+func (c *Channel) checkDuplicates(txs []PacketID) {
+	if len(txs) < 2 {
+		return
+	}
+	if sameIDs(txs, c.prevTxs) {
+		return // identical to the already-validated previous slot
+	}
+	defer func() {
+		c.prevTxs = append(c.prevTxs[:0], txs...)
+	}()
+	if len(txs) <= 32 {
+		// Quadratic scan beats map traffic for the common small slots.
+		for i := 1; i < len(txs); i++ {
+			for j := 0; j < i; j++ {
+				if txs[i] == txs[j] {
+					panic(fmt.Sprintf("channel: packet %d transmitted twice in one slot", txs[i]))
+				}
+			}
+		}
+		return
+	}
+	c.seenGen++
+	for _, id := range txs {
+		if c.seen[id] == c.seenGen {
+			panic(fmt.Sprintf("channel: packet %d transmitted twice in one slot", id))
+		}
+		c.seen[id] = c.seenGen
+	}
+}
+
+// sameIDs reports whether a and b are element-wise identical.
+func sameIDs(a, b []PacketID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// prune drops good slots that can no longer start a window ending at or
+// after now because of the window-length cap.
+func (c *Channel) prune(now int64) {
+	if c.maxWindow == 0 {
+		return
+	}
+	minStart := now - int64(c.maxWindow) + 1
+	drop := 0
+	for drop < len(c.entries) && c.entries[drop].slot < minStart {
+		for _, id := range c.entries[drop].members {
+			delete(c.lastOcc, id)
+			c.stats.PrunedPackets++
+		}
+		drop++
+	}
+	if drop > 0 {
+		c.entries = c.entries[drop:]
+		c.firstAbs += drop
+	}
+}
+
+// record appends the good slot and moves each transmitter's last
+// occurrence to it.
+func (c *Channel) record(now int64, txs []PacketID) {
+	abs := c.firstAbs + len(c.entries)
+	entry := goodEntry{slot: now, members: make([]PacketID, 0, len(txs))}
+	c.entries = append(c.entries, entry)
+	e := &c.entries[len(c.entries)-1]
+	for _, id := range txs {
+		if ref, ok := c.lastOcc[id]; ok {
+			c.removeMember(ref)
+		}
+		e.members = append(e.members, id)
+		c.lastOcc[id] = occRef{abs: abs, pos: len(e.members) - 1}
+	}
+}
+
+// removeMember deletes the packet at ref from its entry's member list by
+// swapping with the last member and fixing the moved packet's reference.
+func (c *Channel) removeMember(ref occRef) {
+	idx := ref.abs - c.firstAbs
+	if idx < 0 || idx >= len(c.entries) {
+		return // entry already pruned or delivered
+	}
+	m := c.entries[idx].members
+	last := len(m) - 1
+	moved := m[last]
+	m[ref.pos] = moved
+	c.entries[idx].members = m[:last]
+	if ref.pos != last {
+		c.lastOcc[moved] = occRef{abs: ref.abs, pos: ref.pos}
+	}
+}
+
+// detect scans candidate window starts for a valid decoding window ending
+// at the current slot.  A start at entry i is valid iff the number of
+// distinct packets whose most recent broadcast is at entry >= i is at
+// most the number of good slots from entry i onward.  Among valid starts
+// it picks the earliest, which delivers a superset of any other choice
+// (windows sharing an endpoint are nested).
+func (c *Channel) detect(now int64) *Event {
+	distinct := 0
+	best := -1
+	for i := len(c.entries) - 1; i >= 0; i-- {
+		distinct += len(c.entries[i].members)
+		goodSlots := len(c.entries) - i
+		if distinct > 0 && distinct <= goodSlots {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	var packets []PacketID
+	for i := best; i < len(c.entries); i++ {
+		packets = append(packets, c.entries[i].members...)
+	}
+	sort.Slice(packets, func(a, b int) bool { return packets[a] < packets[b] })
+	return &Event{
+		Slot:        now,
+		WindowStart: c.entries[best].slot,
+		Packets:     packets,
+	}
+}
+
+// reset discards all pending broadcast information: decoding windows must
+// be disjoint, so nothing before an event can be reused.  Deletion is by
+// key (size-proportional) rather than clear() (capacity-proportional).
+func (c *Channel) reset() {
+	for i := range c.entries {
+		for _, id := range c.entries[i].members {
+			delete(c.lastOcc, id)
+		}
+	}
+	c.entries = c.entries[:0]
+	c.firstAbs = 0
+}
+
+// PendingGoodSlots returns the number of good slots currently tracked
+// (since the last decoding event, after pruning).  Exposed for tests and
+// diagnostics.
+func (c *Channel) PendingGoodSlots() int { return len(c.entries) }
+
+// PendingPackets returns the number of distinct packets with tracked
+// broadcasts.  Exposed for tests and diagnostics.
+func (c *Channel) PendingPackets() int { return len(c.lastOcc) }

@@ -1,0 +1,88 @@
+package channel
+
+import "sort"
+
+// Reference is a brute-force implementation of Definition 1, kept
+// deliberately naive (quadratic scans over the full slot history) so it
+// can serve as an executable specification.  The production Channel is
+// tested for equivalence against it on randomized schedules.
+type Reference struct {
+	kappa     int
+	maxWindow int
+
+	// history of slots since the last decoding event
+	slots []refSlot
+}
+
+type refSlot struct {
+	time  int64
+	class SlotClass
+	txs   []PacketID
+}
+
+// NewReference returns a reference detector with the given threshold and
+// window cap (0 = unbounded).
+func NewReference(kappa, maxWindow int) *Reference {
+	if kappa < 1 {
+		panic("channel: kappa must be at least 1")
+	}
+	return &Reference{kappa: kappa, maxWindow: maxWindow}
+}
+
+// Step processes one slot exactly as Channel.Step does, via literal
+// translation of Definition 1.
+func (r *Reference) Step(now int64, txs []PacketID) (SlotClass, *Event) {
+	class := Silent
+	switch {
+	case len(txs) == 0:
+		class = Silent
+	case len(txs) <= r.kappa:
+		class = Good
+	default:
+		class = Bad
+	}
+	cp := make([]PacketID, len(txs))
+	copy(cp, txs)
+	r.slots = append(r.slots, refSlot{time: now, class: class, txs: cp})
+
+	// Try every window (start, now] that begins with a good slot; Def. 1
+	// condition (4): the event fires the first time any window is valid,
+	// and here we evaluate at each slot in time order, so checking now
+	// suffices.  Among valid windows pick the earliest start (maximal
+	// delivery; nested windows).
+	var best *Event
+	for si := 0; si < len(r.slots); si++ {
+		start := r.slots[si]
+		if start.class != Good {
+			continue
+		}
+		if r.maxWindow > 0 && now-start.time+1 > int64(r.maxWindow) {
+			continue
+		}
+		distinct := make(map[PacketID]bool)
+		goodSlots := 0
+		for sj := si; sj < len(r.slots); sj++ {
+			s := r.slots[sj]
+			if s.class != Good {
+				continue
+			}
+			goodSlots++
+			for _, id := range s.txs {
+				distinct[id] = true
+			}
+		}
+		if len(distinct) > 0 && len(distinct) <= goodSlots {
+			packets := make([]PacketID, 0, len(distinct))
+			for id := range distinct {
+				packets = append(packets, id)
+			}
+			sort.Slice(packets, func(a, b int) bool { return packets[a] < packets[b] })
+			best = &Event{Slot: now, WindowStart: start.time, Packets: packets}
+			break // earliest start wins
+		}
+	}
+	if best != nil {
+		r.slots = r.slots[:0] // windows are disjoint
+	}
+	return class, best
+}

@@ -1,0 +1,542 @@
+// Package core implements the Decodable Backoff Algorithm, the primary
+// contribution of "Contention Resolution for Coded Radio Networks"
+// (Bender, Gilbert, Kuhn, Kuszmaul, Médard — SPAA 2022).
+//
+// The algorithm divides time into epochs.  At the start of an epoch every
+// active packet j joins independently with its joining probability p_j;
+// joiners broadcast in every slot of the epoch.  An epoch ends on the
+// first of three triggers, each audible to every device:
+//
+//   - a silent slot          → silent epoch (nobody joined; length 1)
+//   - a decoding event       → successful epoch (joiners delivered)
+//   - κ slots with no event  → overfull epoch (more than κ joined)
+//
+// Probabilities update multiplicatively at epoch ends: ×κ^(1/4) after a
+// silent epoch, ÷κ^(1/4) after an overfull one, unchanged after success.
+// Newly arrived packets are inactive — they listen but never broadcast —
+// and activate with p = κ^(−1/2) upon hearing a silent slot (admission
+// control).  The target contention is c* = √κ.
+//
+// Implementation: since every active packet's probability is p0·f^e for
+// the shared factor f = κ^(1/4) and an integer exponent e, the population
+// lives in buckets keyed by exponent, with a global lazy shift so that an
+// epoch-end update costs O(#buckets) instead of O(#packets), and joiner
+// selection uses geometric skipping so an epoch costs O(joiners) expected
+// time regardless of backlog size.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/channel"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// Stats aggregates protocol-level counters over an execution.
+type Stats struct {
+	SilentEpochs     int64
+	SuccessfulEpochs int64
+	OverfullEpochs   int64
+	ErrorEpochs      int64 // Definition 2: silent with c >= κ^(1/4), overfull with c <= κ^(3/4)
+	Activations      int64
+	Delivered        int64
+	IdleSlots        int64 // slots with no packets in the system at all
+	MaxPending       int
+}
+
+// Epochs returns the total number of completed epochs.
+func (s Stats) Epochs() int64 { return s.SilentEpochs + s.SuccessfulEpochs + s.OverfullEpochs }
+
+// Option configures a Decodable Backoff instance; used by the ablation
+// experiments to weaken individual design ingredients.
+type Option func(*DecodableBackoff)
+
+// WithUpdateFactor overrides the multiplicative probability update factor
+// (paper: κ^(1/4)).  The ablation E10 uses 2, the classical
+// multiplicative-weights speed, to show why the aggressive factor is
+// needed.  f must be > 1.
+func WithUpdateFactor(f float64) Option {
+	return func(d *DecodableBackoff) {
+		if f <= 1 {
+			panic("core: update factor must exceed 1")
+		}
+		d.factor = f
+	}
+}
+
+// WithInitialProb overrides the joining probability a packet starts with
+// when it activates (paper: κ^(−1/2)).  Must be in (0, 1].
+func WithInitialProb(p0 float64) Option {
+	return func(d *DecodableBackoff) {
+		if p0 <= 0 || p0 > 1 {
+			panic("core: initial probability must be in (0,1]")
+		}
+		d.p0 = p0
+	}
+}
+
+// WithoutAdmissionControl makes arrivals activate immediately instead of
+// waiting for a silent slot.  Used by ablation E10 to show how newly
+// arrived packets disrupt ongoing epochs without the inactive stage.
+func WithoutAdmissionControl() Option {
+	return func(d *DecodableBackoff) { d.admission = false }
+}
+
+// WithEpochObserver installs a callback invoked after every completed
+// epoch, used by the measurement harness for contention/potential traces.
+func WithEpochObserver(obs protocol.EpochObserver) Option {
+	return func(d *DecodableBackoff) { d.observer = obs }
+}
+
+// bucket holds the active packets whose joining probability exponent
+// (relative to the global shift) equals base.
+type bucket struct {
+	base int
+	ids  []channel.PacketID
+}
+
+// location tracks where a packet currently lives so deliveries are O(1).
+type where uint8
+
+const (
+	inInactive where = iota
+	inBucket
+	inJoiners
+)
+
+type location struct {
+	where where
+	base  int // bucket base when where == inBucket
+	idx   int // index within the containing slice
+}
+
+type joiner struct {
+	id   channel.PacketID
+	base int // bucket base the packet came from (for overfull reinsertion)
+}
+
+// DecodableBackoff is the paper's protocol.  Create with New; not safe
+// for concurrent use.
+type DecodableBackoff struct {
+	kappa     int
+	factor    float64 // multiplicative update factor f (default κ^(1/4))
+	p0        float64 // activation probability (default κ^(-1/2))
+	eCap      int     // exponent at which p0·f^e reaches 1 (probability cap)
+	admission bool
+	rand      *rng.Rand
+	observer  protocol.EpochObserver
+
+	shift    int // global exponent shift: effective exponent = base + shift
+	buckets  []*bucket
+	byBase   map[int]*bucket
+	inactive []channel.PacketID
+	joiners  []joiner
+	loc      map[channel.PacketID]location
+
+	active int // packets currently in buckets (excludes joiners and inactive)
+
+	inEpoch      bool
+	epochStart   int64
+	epochSlots   int64
+	epochCont    float64 // contention at epoch start
+	epochPMin    float64
+	epochActive  int
+	epochInact   int
+	epochJoiners int
+	txScratch    []int
+	stats        Stats
+	pendingPeak  int
+}
+
+var _ protocol.Protocol = (*DecodableBackoff)(nil)
+
+// New returns a Decodable Backoff instance for decoding threshold kappa
+// (the paper requires κ ≥ 6) using the given random stream.
+func New(kappa int, r *rng.Rand, opts ...Option) *DecodableBackoff {
+	if kappa < 6 {
+		panic("core: kappa must be at least 6 (required by the analysis)")
+	}
+	if r == nil {
+		panic("core: nil rng")
+	}
+	d := &DecodableBackoff{
+		kappa:     kappa,
+		factor:    math.Pow(float64(kappa), 0.25),
+		p0:        1 / math.Sqrt(float64(kappa)),
+		admission: true,
+		rand:      r,
+		byBase:    make(map[int]*bucket),
+		loc:       make(map[channel.PacketID]location),
+	}
+	for _, opt := range opts {
+		opt(d)
+	}
+	// Smallest integer e >= 0 with p0 · f^e >= 1.
+	d.eCap = int(math.Ceil(-math.Log(d.p0) / math.Log(d.factor)))
+	if d.eCap < 0 {
+		d.eCap = 0
+	}
+	return d
+}
+
+// Name implements protocol.Protocol.
+func (d *DecodableBackoff) Name() string { return "decodable-backoff" }
+
+// Kappa returns the decoding threshold the instance was built for.
+func (d *DecodableBackoff) Kappa() int { return d.kappa }
+
+// Stats returns a copy of the accumulated counters.
+func (d *DecodableBackoff) Stats() Stats {
+	s := d.stats
+	s.MaxPending = d.pendingPeak
+	return s
+}
+
+// Pending implements protocol.Protocol.
+func (d *DecodableBackoff) Pending() int {
+	return d.active + len(d.joiners) + len(d.inactive)
+}
+
+// prob returns the joining probability for effective exponent e.
+func (d *DecodableBackoff) prob(e int) float64 {
+	if e >= d.eCap {
+		return 1
+	}
+	p := d.p0 * math.Pow(d.factor, float64(e))
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Inject implements protocol.Protocol.  Arrivals enter the inactive
+// stage (or activate immediately if admission control is disabled).
+func (d *DecodableBackoff) Inject(now int64, ids []channel.PacketID) {
+	for _, id := range ids {
+		if _, dup := d.loc[id]; dup {
+			panic(fmt.Sprintf("core: duplicate injection of packet %d", id))
+		}
+		if d.admission {
+			d.loc[id] = location{where: inInactive, idx: len(d.inactive)}
+			d.inactive = append(d.inactive, id)
+		} else {
+			d.addActive(id)
+			d.stats.Activations++
+		}
+	}
+	if p := d.Pending(); p > d.pendingPeak {
+		d.pendingPeak = p
+	}
+}
+
+// addActive inserts a packet into the activation bucket (exponent 0, i.e.
+// probability p0).
+func (d *DecodableBackoff) addActive(id channel.PacketID) {
+	b := d.getBucket(0 - d.shift)
+	d.loc[id] = location{where: inBucket, base: b.base, idx: len(b.ids)}
+	b.ids = append(b.ids, id)
+	d.active++
+}
+
+// getBucket returns the bucket with the given base, creating it (in
+// sorted position) if needed.
+func (d *DecodableBackoff) getBucket(base int) *bucket {
+	if b, ok := d.byBase[base]; ok {
+		return b
+	}
+	b := &bucket{base: base}
+	d.byBase[base] = b
+	i := sort.Search(len(d.buckets), func(i int) bool { return d.buckets[i].base >= base })
+	d.buckets = append(d.buckets, nil)
+	copy(d.buckets[i+1:], d.buckets[i:])
+	d.buckets[i] = b
+	return b
+}
+
+// dropBucketIfEmpty removes an empty bucket from the index.
+func (d *DecodableBackoff) dropBucketIfEmpty(b *bucket) {
+	if len(b.ids) != 0 {
+		return
+	}
+	delete(d.byBase, b.base)
+	for i, bb := range d.buckets {
+		if bb == b {
+			d.buckets = append(d.buckets[:i], d.buckets[i+1:]...)
+			return
+		}
+	}
+}
+
+// contention returns the sum of joining probabilities over all active
+// packets (buckets plus current joiners), and the minimum probability
+// (1 if there are no active packets).
+func (d *DecodableBackoff) contention() (c, pMin float64) {
+	pMin = 1
+	for _, b := range d.buckets {
+		if len(b.ids) == 0 {
+			continue
+		}
+		p := d.prob(b.base + d.shift)
+		c += float64(len(b.ids)) * p
+		if p < pMin {
+			pMin = p
+		}
+	}
+	for _, j := range d.joiners {
+		p := d.prob(j.base + d.shift)
+		c += p
+		if p < pMin {
+			pMin = p
+		}
+	}
+	return c, pMin
+}
+
+// Snapshot returns the live potential-function inputs: total packets N,
+// inactive packets M, contention c, and minimum active probability.
+func (d *DecodableBackoff) Snapshot() (n, m int, c, pMin float64) {
+	c, pMin = d.contention()
+	return d.Pending(), len(d.inactive), c, pMin
+}
+
+// startEpoch selects this epoch's joiners: each active packet joins
+// independently with its bucket's probability.  Joiners are moved out of
+// their buckets into the joiner list.
+func (d *DecodableBackoff) startEpoch(now int64) {
+	d.inEpoch = true
+	d.epochStart = now
+	d.epochSlots = 0
+	d.epochCont, d.epochPMin = 0, 1
+	d.epochActive = d.active
+	d.epochInact = len(d.inactive)
+	d.joiners = d.joiners[:0]
+
+	for _, b := range d.buckets {
+		if len(b.ids) == 0 {
+			continue
+		}
+		p := d.prob(b.base + d.shift)
+		d.epochCont += float64(len(b.ids)) * p
+		if p < d.epochPMin {
+			d.epochPMin = p
+		}
+		d.txScratch = d.rand.SampleIndices(d.txScratch[:0], len(b.ids), p)
+		// Remove selected ids by descending index so swap-deletes do not
+		// disturb indices still to be processed.
+		for k := len(d.txScratch) - 1; k >= 0; k-- {
+			idx := d.txScratch[k]
+			id := b.ids[idx]
+			d.removeFromBucket(b, idx)
+			d.loc[id] = location{where: inJoiners, idx: len(d.joiners)}
+			d.joiners = append(d.joiners, joiner{id: id, base: b.base})
+		}
+	}
+	// Bucket list may now contain empty buckets; drop them lazily.
+	d.compactBuckets()
+	d.epochJoiners = len(d.joiners)
+}
+
+func (d *DecodableBackoff) compactBuckets() {
+	out := d.buckets[:0]
+	for _, b := range d.buckets {
+		if len(b.ids) == 0 {
+			delete(d.byBase, b.base)
+			continue
+		}
+		out = append(out, b)
+	}
+	d.buckets = out
+}
+
+// removeFromBucket swap-deletes index idx from bucket b, fixing the moved
+// packet's location.
+func (d *DecodableBackoff) removeFromBucket(b *bucket, idx int) {
+	last := len(b.ids) - 1
+	moved := b.ids[last]
+	b.ids[idx] = moved
+	b.ids = b.ids[:last]
+	if idx != last {
+		d.loc[moved] = location{where: inBucket, base: b.base, idx: idx}
+	}
+	d.active--
+}
+
+// Transmitters implements protocol.Protocol: the epoch's joiners
+// broadcast in every slot of the epoch.
+func (d *DecodableBackoff) Transmitters(now int64, buf []channel.PacketID) []channel.PacketID {
+	if !d.inEpoch {
+		d.startEpoch(now)
+	}
+	for _, j := range d.joiners {
+		buf = append(buf, j.id)
+	}
+	return buf
+}
+
+// Observe implements protocol.Protocol: epoch bookkeeping driven purely
+// by the two signals devices can hear (silence, decoding events) plus the
+// κ-slot timeout.
+func (d *DecodableBackoff) Observe(fb channel.Feedback) {
+	if !d.inEpoch {
+		// No epoch in progress (e.g. the engine skipped ahead through an
+		// idle stretch); nothing to account.
+		if d.Pending() == 0 {
+			d.stats.IdleSlots++
+		}
+		return
+	}
+	d.epochSlots++
+	switch {
+	case fb.Event != nil:
+		d.endSuccessful(fb)
+	case fb.Silent:
+		d.endSilent()
+	case d.epochSlots >= int64(d.kappa):
+		d.endOverfull()
+	}
+}
+
+// endSuccessful finishes a successful epoch: delivered packets leave the
+// system; all other probabilities are unchanged.
+func (d *DecodableBackoff) endSuccessful(fb channel.Feedback) {
+	for _, id := range fb.Event.Packets {
+		l, ok := d.loc[id]
+		if !ok {
+			continue // not ours (possible only in multi-protocol setups)
+		}
+		switch l.where {
+		case inJoiners:
+			d.removeJoiner(l.idx)
+		case inBucket:
+			// A straggler delivered from an earlier window; possible only
+			// with exotic channel configurations, but handle it.
+			b := d.byBase[l.base]
+			d.removeFromBucket(b, l.idx)
+			d.dropBucketIfEmpty(b)
+		case inInactive:
+			d.removeInactive(l.idx)
+		}
+		delete(d.loc, id)
+		d.stats.Delivered++
+	}
+	// Joiners that were not delivered (none, in well-formed runs) return
+	// to their buckets with unchanged probability.
+	d.returnJoiners(0)
+	d.stats.SuccessfulEpochs++
+	d.finishEpoch(protocol.EpochSuccessful, false)
+}
+
+// endSilent finishes a silent epoch: every active packet's probability
+// rises by one factor step (shift increase), then inactive packets
+// activate at p0.
+func (d *DecodableBackoff) endSilent() {
+	if d.epochActive == 0 && d.epochInact == 0 {
+		// Nothing in the system: an idle slot, not a real epoch.
+		d.stats.IdleSlots++
+		d.inEpoch = false
+		return
+	}
+	isError := d.epochCont >= math.Pow(float64(d.kappa), 0.25)
+	d.shift++
+	d.mergeCapped()
+	for _, id := range d.inactive {
+		delete(d.loc, id) // addActive rewrites it
+		d.addActive(id)
+		d.stats.Activations++
+	}
+	d.inactive = d.inactive[:0]
+	d.stats.SilentEpochs++
+	d.finishEpoch(protocol.EpochSilent, isError)
+}
+
+// endOverfull finishes an overfull epoch: every active packet's
+// probability drops by one factor step.
+func (d *DecodableBackoff) endOverfull() {
+	isError := d.epochCont <= math.Pow(float64(d.kappa), 0.75)
+	d.shift--
+	d.returnJoiners(0)
+	d.stats.OverfullEpochs++
+	d.finishEpoch(protocol.EpochOverfull, isError)
+}
+
+// mergeCapped folds every bucket whose effective exponent now exceeds the
+// cap into the cap bucket (probability 1).  Called after shift increases.
+func (d *DecodableBackoff) mergeCapped() {
+	capBase := d.eCap - d.shift
+	var over []*bucket
+	for _, b := range d.buckets {
+		if b.base > capBase && len(b.ids) > 0 {
+			over = append(over, b)
+		}
+	}
+	if len(over) == 0 {
+		return
+	}
+	dst := d.getBucket(capBase)
+	for _, b := range over {
+		for _, id := range b.ids {
+			d.loc[id] = location{where: inBucket, base: dst.base, idx: len(dst.ids)}
+			dst.ids = append(dst.ids, id)
+		}
+		b.ids = b.ids[:0]
+	}
+	d.compactBuckets()
+}
+
+// returnJoiners reinserts joiners[from:] into their buckets.
+func (d *DecodableBackoff) returnJoiners(from int) {
+	for _, j := range d.joiners[from:] {
+		b := d.getBucket(j.base)
+		d.loc[j.id] = location{where: inBucket, base: b.base, idx: len(b.ids)}
+		b.ids = append(b.ids, j.id)
+		d.active++
+	}
+	d.joiners = d.joiners[:from]
+}
+
+// removeJoiner swap-deletes the joiner at idx.
+func (d *DecodableBackoff) removeJoiner(idx int) {
+	last := len(d.joiners) - 1
+	moved := d.joiners[last]
+	d.joiners[idx] = moved
+	d.joiners = d.joiners[:last]
+	if idx != last {
+		d.loc[moved.id] = location{where: inJoiners, idx: idx}
+	}
+}
+
+// removeInactive swap-deletes the inactive packet at idx.
+func (d *DecodableBackoff) removeInactive(idx int) {
+	last := len(d.inactive) - 1
+	moved := d.inactive[last]
+	d.inactive[idx] = moved
+	d.inactive = d.inactive[:last]
+	if idx != last {
+		d.loc[moved] = location{where: inInactive, idx: idx}
+	}
+}
+
+// finishEpoch reports the completed epoch to the observer and resets the
+// epoch state.
+func (d *DecodableBackoff) finishEpoch(kind protocol.EpochKind, isError bool) {
+	if isError {
+		d.stats.ErrorEpochs++
+	}
+	if d.observer != nil {
+		d.observer.ObserveEpoch(protocol.EpochInfo{
+			Kind:       kind,
+			Start:      d.epochStart,
+			Length:     d.epochSlots,
+			Joiners:    d.epochJoiners,
+			Contention: d.epochCont,
+			PMin:       d.epochPMin,
+			Active:     d.epochActive,
+			Inactive:   d.epochInact,
+			Error:      isError,
+		})
+	}
+	d.inEpoch = false
+}

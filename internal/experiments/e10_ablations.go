@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/arrival"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// E10Ablations tests the design ingredients Section 3 calls critical, by
+// weakening each one:
+//
+//  1. the aggressive ×κ^(1/4) probability update (vs classical ×2);
+//  2. admission control (inactive packets wait for silence) vs
+//     activating arrivals immediately;
+//  3. the κ^(−1/2) initial joining probability — the paper stresses it
+//     must be o(1): starting at 1 forces overfull cascades (κ slots
+//     each); we also probe the other direction (κ^(−2)) to show the
+//     asymmetry (backing on costs 1-slot silent epochs, backing off
+//     costs κ-slot overfull epochs).
+//
+// Wasted slots only matter near capacity (the paper's point: even a few
+// lost epochs break 1−o(1)), so the scenarios run at load ≥ 0.93 where
+// every wasted epoch turns into backlog.
+func E10Ablations(scale Scale, seed uint64) *Output {
+	out := &Output{
+		ID:    "E10",
+		Title: "ablating the critical design choices near capacity",
+		Claim: "Section 3: update speed κ^(1/4), admission control, and o(1) starting probability are load-bearing",
+	}
+	const kappa = 64
+	trials := scale.pick(3, 5)
+
+	type variant struct {
+		name string
+		opts []core.Option
+	}
+	variants := []variant{
+		{"full DBA (paper)", nil},
+		{"update ×2 (exp-backoff speed)", []core.Option{core.WithUpdateFactor(2)}},
+		{"update ×1.1 (CJP speed)", []core.Option{core.WithUpdateFactor(1.1)}},
+		{"no admission control", []core.Option{core.WithoutAdmissionControl()}},
+		{"p0 = 1 (greedy start)", []core.Option{core.WithInitialProb(1)}},
+		{"p0 = 1/κ² (timid start)", []core.Option{core.WithInitialProb(1.0 / (kappa * kappa))}},
+	}
+
+	scenarios := []struct {
+		name string
+		mk   func() arrival.Process
+	}{
+		{"batch", nil}, // handled specially below
+		{"poisson(0.93)", func() arrival.Process { return &arrival.Poisson{Lambda: 0.93} }},
+		{"bursts 1500/1600 (load 0.94)", func() arrival.Process {
+			return &arrival.WindowBurst{Window: 1600, PerWindow: 1500}
+		}},
+	}
+
+	// Scenario 1: one batch — pure completion throughput.
+	n := scale.pick(3000, 10000)
+	batch := report.NewTable(
+		fmt.Sprintf("Scenario 1: batch of n=%d, κ=%d (mean of %d trials)", n, kappa, trials),
+		"variant", "completion", "throughput", "slowdown vs full")
+	var fullCompletion float64
+	for _, v := range variants {
+		v := v
+		results := sim.RunTrials(trials, seed+uint64(len(v.name)), 0,
+			func(trial int, s uint64) *sim.Result {
+				return sim.Run(sim.Config{Kappa: kappa, Horizon: 1, Drain: true,
+					DrainLimit: int64(n) * 64, Seed: s},
+					core.New(kappa, rng.New(s^0xA10), v.opts...),
+					&arrival.Batch{At: 0, N: n})
+			})
+		completion := sim.Aggregate(results, func(r *sim.Result) float64 {
+			if r.Pending > 0 {
+				return float64(r.Elapsed)
+			}
+			return float64(r.LastDelivery + 1)
+		})
+		if v.name == variants[0].name {
+			fullCompletion = completion.Mean()
+		}
+		batch.AddRow(v.name, completion.Mean(), float64(n)/completion.Mean(),
+			fmt.Sprintf("%.2fx", completion.Mean()/fullCompletion))
+	}
+	out.Tables = append(out.Tables, batch)
+
+	// Scenarios 2-3: sustained near-capacity load — wasted epochs turn
+	// into backlog growth.
+	horizon := int64(scale.pick(60_000, 250_000))
+	for _, sc := range scenarios[1:] {
+		sc := sc
+		tbl := report.NewTable(
+			fmt.Sprintf("Scenario: %s, κ=%d, horizon=%d", sc.name, kappa, horizon),
+			"variant", "late mean backlog", "final backlog", "delivered frac", "error epochs")
+		for _, v := range variants {
+			v := v
+			var errEpochs int64
+			results := sim.RunTrials(trials, seed+uint64(len(v.name))*7, 0,
+				func(trial int, s uint64) *sim.Result {
+					d := core.New(kappa, rng.New(s^0xB10), v.opts...)
+					res := sim.Run(sim.Config{Kappa: kappa, Horizon: horizon, Seed: s},
+						d, sc.mk())
+					errEpochs += d.Stats().ErrorEpochs
+					return res
+				})
+			late := sim.Aggregate(results, func(r *sim.Result) float64 {
+				return r.SegmentMeanBacklog(0.7, 1.0)
+			})
+			final := sim.Aggregate(results, func(r *sim.Result) float64 { return float64(r.Pending) })
+			frac := sim.Aggregate(results, func(r *sim.Result) float64 {
+				if r.Arrivals == 0 {
+					return 1
+				}
+				return float64(r.Delivered) / float64(r.Arrivals)
+			})
+			tbl.AddRow(v.name, late.Mean(), final.Mean(), frac.Mean(), errEpochs/int64(trials))
+		}
+		out.Tables = append(out.Tables, tbl)
+	}
+	out.Notes = append(out.Notes,
+		"the paper notes contention must change an ω(1)-factor faster than Chang et al.'s (1+ε) updates: the ×1.1 variant shows why — re-centering after every burst takes ~κ^{1/4}/ε× more epochs and the waste accumulates as backlog",
+		"p0 = 1 turns every activation wave into an overfull cascade (κ slots per epoch); the paper's requirement that packets start with an o(1) probability is about exactly this",
+		"p0 = 1/κ² is comparatively benign in this model because backing on costs 1-slot silent epochs while backing off costs κ-slot overfull epochs — the asymmetry the κ^(−1/2)/κ^(1/4) tuning exploits",
+		"admission control is analysis-critical (it makes the potential argument work and keeps PHY-layer groups stable); in the abstract channel its performance effect at these loads is small, since the epoch structure already fixes each epoch's joiner set")
+	return out
+}

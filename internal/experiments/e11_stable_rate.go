@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arrival"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// E11StableRate maps the stable-rate frontier: the highest Poisson
+// arrival rate each protocol sustains without the backlog diverging.
+// Poisson arrivals (not single-arrival Bernoulli) are essential: with at
+// most one arrival per slot a queue never forms for protocols that
+// deliver a lone packet immediately, and every protocol looks stable.
+// The paper's framing: DBA delivers throughput 1−o(1), so it should stay
+// stable at rates close to 1, while the classical protocols collapse
+// near 1/e (ALOHA, multiplicative weights) or far below (exponential
+// backoff, Θ(1/log n)).
+func E11StableRate(scale Scale, seed uint64) *Output {
+	out := &Output{
+		ID:    "E11",
+		Title: "stable-rate frontier under Poisson(λ) arrivals",
+		Claim: "DBA stable at λ close to 1 (coded channel); ALOHA/MW collapse near 1/e ≈ 0.368; BEB earlier",
+	}
+	horizon := int64(scale.pick(60_000, 250_000))
+	rates := []float64{0.20, 0.30, 0.35, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95}
+
+	type proto struct {
+		name  string
+		kappa int
+		build func(s uint64) protocol.Protocol
+	}
+	protos := []proto{
+		{"dba κ=64", 64, func(s uint64) protocol.Protocol { return core.New(64, rng.New(s)) }},
+		{"dba κ=256", 256, func(s uint64) protocol.Protocol { return core.New(256, rng.New(s)) }},
+		{"genie-aloha", 1, func(s uint64) protocol.Protocol { return baseline.NewGenieAloha(rng.New(s), 1) }},
+		{"mult-weights", 1, func(s uint64) protocol.Protocol {
+			return baseline.NewMultiplicativeWeights(rng.New(s), baseline.DefaultMWConfig())
+		}},
+		{"exp-backoff", 1, func(s uint64) protocol.Protocol { return baseline.NewExponentialBackoff(rng.New(s)) }},
+		{"poly-backoff(2)", 1, func(s uint64) protocol.Protocol { return baseline.NewPolynomialBackoff(rng.New(s), 2) }},
+	}
+
+	// Flatten the (protocol, rate) grid and run every cell in parallel.
+	type cell struct {
+		p proto
+		r float64
+	}
+	var cells []cell
+	for _, p := range protos {
+		for _, r := range rates {
+			cells = append(cells, cell{p, r})
+		}
+	}
+	results := sim.RunTrials(len(cells), seed^0xE11, 0, func(i int, s uint64) *sim.Result {
+		c := cells[i]
+		return sim.Run(sim.Config{Kappa: c.p.kappa, Horizon: horizon, Seed: s},
+			c.p.build(s^0xAB), &arrival.Poisson{Lambda: c.r})
+	})
+
+	// Stability: the backlog in the last fifth must not be much larger
+	// than in the middle fifth, and the final backlog must be a small
+	// fraction of total arrivals.
+	stable := func(r *sim.Result) bool {
+		mid := r.SegmentMeanBacklog(0.4, 0.6)
+		late := r.SegmentMeanBacklog(0.8, 1.0)
+		if late > 3*math.Max(mid, 32) {
+			return false
+		}
+		return float64(r.Pending) < 0.1*float64(r.Arrivals)
+	}
+
+	header := []string{"protocol"}
+	for _, r := range rates {
+		header = append(header, fmt.Sprintf("λ=%.2f", r))
+	}
+	header = append(header, "max stable λ")
+	tbl := report.NewTable("Stability grid (S = stable, - = diverging)", header...)
+	for pi, p := range protos {
+		row := make([]interface{}, 0, len(rates)+2)
+		row = append(row, p.name)
+		maxStable := 0.0
+		for ri := range rates {
+			res := results[pi*len(rates)+ri]
+			if stable(res) {
+				row = append(row, "S")
+				maxStable = rates[ri]
+			} else {
+				row = append(row, "-")
+			}
+		}
+		row = append(row, fmt.Sprintf("%.2f", maxStable))
+		tbl.AddRow(row...)
+	}
+	out.Tables = append(out.Tables, tbl)
+	out.Notes = append(out.Notes,
+		fmt.Sprintf("1/e ≈ %.3f is the classical genie-ALOHA ceiling; the classical hard bounds are 0.568 (full sensing) and 0.530 (ack-based)", 1/math.E),
+		"stability = late-window backlog ≤ 3× mid-window backlog (with a 32-packet floor) and final backlog < 10% of arrivals",
+		"the frontier is monotone per protocol up to simulation noise; DBA's gap over every classical line is the paper's separation")
+	return out
+}

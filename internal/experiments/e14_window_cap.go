@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/arrival"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// E14WindowCap probes the base station's memory budget: the paper notes
+// that "in practice, decoding windows will also be limited in length"
+// and that the algorithm only needs windows of length O(κ).  The harness
+// sweeps the window cap from κ/4 to 4κ and unbounded:
+//
+//   - cap ≥ κ: no effect — successful epochs need at most κ-slot windows
+//     (Lemma 2), so the O(κ) claim is exactly reproduced;
+//   - cap < κ: groups larger than the cap can never decode, so the
+//     protocol behaves like one with an effective threshold of the cap
+//     while still paying the κ-slot overfull timeout — throughput
+//     degrades but the protocol stays safe and live.
+func E14WindowCap(scale Scale, seed uint64) *Output {
+	out := &Output{
+		ID:    "E14",
+		Title: "decoding-window cap sensitivity (base-station memory)",
+		Claim: "Section 2: windows of length O(κ) suffice; the algorithm needs none longer than κ",
+	}
+	const kappa = 64
+	n := scale.pick(3000, 10000)
+	trials := scale.pick(3, 5)
+
+	tbl := report.NewTable(
+		fmt.Sprintf("Batch of n=%d at κ=%d under decoding-window caps", n, kappa),
+		"maxWindow", "completion", "throughput", "delivered frac", "pruned packets")
+	caps := []struct {
+		label string
+		value int
+	}{
+		{"κ/4 = 16", kappa / 4},
+		{"κ/2 = 32", kappa / 2},
+		{"κ = 64", kappa},
+		{"2κ = 128", 2 * kappa},
+		{"4κ = 256 (default)", 4 * kappa},
+		{"unbounded", sim.NoWindowCap},
+	}
+	for _, c := range caps {
+		c := c
+		results := sim.RunTrials(trials, seed+uint64(c.value)*17, 0,
+			func(trial int, s uint64) *sim.Result {
+				return sim.Run(sim.Config{Kappa: kappa, MaxWindow: c.value,
+					Horizon: 1, Drain: true, DrainLimit: int64(n) * 64, Seed: s},
+					core.New(kappa, rng.New(s^0xE14)), &arrival.Batch{At: 0, N: n})
+			})
+		completion := sim.Aggregate(results, func(r *sim.Result) float64 {
+			if r.Pending > 0 {
+				return float64(r.Elapsed)
+			}
+			return float64(r.LastDelivery + 1)
+		})
+		frac := sim.Aggregate(results, func(r *sim.Result) float64 {
+			return float64(r.Delivered) / float64(r.Arrivals)
+		})
+		pruned := sim.Aggregate(results, func(r *sim.Result) float64 {
+			return float64(r.Channel.PrunedPackets)
+		})
+		tbl.AddRow(c.label, completion.Mean(), float64(n)/completion.Mean(),
+			frac.Mean(), pruned.Mean())
+	}
+	out.Tables = append(out.Tables, tbl)
+	out.Notes = append(out.Notes,
+		"caps at or above κ are indistinguishable: Lemma 2 windows coincide with epochs, never longer than κ",
+		"caps below κ forbid the largest groups: those epochs hit the κ-slot timeout and their probability drops recalibrate group sizes under the cap — slower, but safe and live",
+		"every run delivers every packet (delivered frac = 1): the cap affects performance, not correctness")
+	return out
+}

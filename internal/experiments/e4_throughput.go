@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arrival"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Classical-model throughput upper bounds the paper cites (Section 1):
+// no protocol can beat these on a κ=1 channel.
+const (
+	fullSensingBound = 0.568    // Tsybakov–Likhanov / Goldberg notes
+	ackBasedBound    = 0.530045 // Goldberg–Jerrum–Kannan–Paterson
+)
+
+// E4Throughput reproduces the headline comparison: on the coded channel
+// the Decodable Backoff Algorithm achieves throughput close to 1,
+// breaking the constant-throughput ceilings of the classical model, while
+// the classical protocols sit at or below 1/e-type rates — BEB at
+// Θ(1/log n), genie ALOHA at 1/e, multiplicative weights at 1/e − O(ε).
+func E4Throughput(scale Scale, seed uint64) *Output {
+	out := &Output{
+		ID:    "E4",
+		Title: "batch throughput: DBA (coded channel) vs classical baselines",
+		Claim: "DBA achieves 1−Θ(1/ln κ) > 0.568/0.530 classical ceilings; BEB ~1/log n, ALOHA/MW ~1/e",
+	}
+	n := scale.pick(2000, 10000)
+	trials := scale.pick(3, 5)
+
+	type entry struct {
+		label string
+		kappa int
+		build func(s uint64) protocol.Protocol
+	}
+	entries := []entry{
+		{"decodable-backoff", 16, func(s uint64) protocol.Protocol { return core.New(16, rng.New(s)) }},
+		{"decodable-backoff", 64, func(s uint64) protocol.Protocol { return core.New(64, rng.New(s)) }},
+		{"decodable-backoff", 256, func(s uint64) protocol.Protocol { return core.New(256, rng.New(s)) }},
+		{"exponential-backoff", 1, func(s uint64) protocol.Protocol { return baseline.NewExponentialBackoff(rng.New(s)) }},
+		{"genie-aloha", 1, func(s uint64) protocol.Protocol { return baseline.NewGenieAloha(rng.New(s), 1) }},
+		{"mult-weights", 1, func(s uint64) protocol.Protocol {
+			return baseline.NewMultiplicativeWeights(rng.New(s), baseline.DefaultMWConfig())
+		}},
+		// Baselines moved onto the coded channel: they benefit a little
+		// from incidental decoding windows but lack epoch coordination.
+		{"exponential-backoff", 64, func(s uint64) protocol.Protocol { return baseline.NewExponentialBackoff(rng.New(s)) }},
+		{"genie-aloha", 64, func(s uint64) protocol.Protocol { return baseline.NewGenieAloha(rng.New(s), 1) }},
+	}
+
+	tbl := report.NewTable(
+		fmt.Sprintf("Batch of n=%d: completion throughput (mean of %d trials)", n, trials),
+		"protocol", "channel κ", "throughput", "±95%", "vs 1/e", "beats 0.568 ceiling")
+	for _, e := range entries {
+		e := e
+		results := sim.RunTrials(trials, seed+uint64(len(e.label))*31+uint64(e.kappa), 0,
+			func(trial int, s uint64) *sim.Result {
+				return sim.Run(sim.Config{Kappa: e.kappa, Horizon: 1, Drain: true,
+					DrainLimit: int64(n) * 64, Seed: s},
+					e.build(s^0xE4), &arrival.Batch{At: 0, N: n})
+			})
+		thpt := sim.Aggregate(results, func(r *sim.Result) float64 {
+			if r.Pending > 0 { // did not finish: charge the full elapsed time
+				return float64(r.Delivered) / float64(r.Elapsed)
+			}
+			return r.CompletionThroughput()
+		})
+		tbl.AddRow(e.label, e.kappa, thpt.Mean(), thpt.CI95(),
+			fmt.Sprintf("%.2fx", thpt.Mean()*math.E),
+			boolMark(thpt.Mean() > fullSensingBound))
+	}
+	out.Tables = append(out.Tables, tbl)
+	out.Notes = append(out.Notes,
+		fmt.Sprintf("classical ceilings: full-sensing %.3f, ack-based %.6f, genie ALOHA 1/e ≈ %.4f",
+			fullSensingBound, ackBasedBound, 1/math.E),
+		"DBA > 0.568 on the coded channel demonstrates the model separation the paper proves",
+		"uncoordinated baselines gain little from κ > 1: repeated joint broadcasts (epochs) are what make decoding windows complete")
+	return out
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/arrival"
+	"repro/internal/asciiplot"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// E5ErrorEpochs reproduces Lemmas 3 and 4: an epoch is an *error epoch*
+// (silent at contention ≥ κ^(1/4), or overfull at contention ≤ κ^(3/4))
+// with probability at most 2^(−Θ(κ^{1/4})) — error epochs should become
+// rapidly rarer as κ grows.
+func E5ErrorEpochs(scale Scale, seed uint64) *Output {
+	out := &Output{
+		ID:    "E5",
+		Title: "error-epoch frequency vs κ",
+		Claim: "Lemma 3: P[error epoch] ≤ 2^(−Θ(κ^{1/4})); Lemma 4: ≤ √w + O(t/2^Θ(κ^{1/4})) per interval",
+	}
+	kappas := []int{8, 16, 32, 64, 128, 256}
+	if scale == Full {
+		kappas = append(kappas, 512, 1024)
+	}
+	horizon := int64(scale.pick(100_000, 400_000))
+	trials := scale.pick(2, 4)
+
+	tbl := report.NewTable("Error epochs under sustained near-capacity load (rate 0.8)",
+		"kappa", "epochs", "silent", "successful", "overfull", "errorEpochs", "errorFrac", "κ^(1/4)")
+	var xs, ys []float64
+	for _, kappa := range kappas {
+		var totalEpochs, totalErrors, silent, success, overfull int64
+		for trial := 0; trial < trials; trial++ {
+			s := seed + uint64(kappa)*101 + uint64(trial)
+			var st core.Stats
+			d := core.New(kappa, rng.New(s^0xE5))
+			res := sim.Run(sim.Config{Kappa: kappa, Horizon: horizon, Seed: s},
+				d, arrival.NewEvenPaced(0.8))
+			st = d.Stats()
+			_ = res
+			totalEpochs += st.Epochs()
+			totalErrors += st.ErrorEpochs
+			silent += st.SilentEpochs
+			success += st.SuccessfulEpochs
+			overfull += st.OverfullEpochs
+		}
+		frac := float64(totalErrors) / math.Max(1, float64(totalEpochs))
+		tbl.AddRow(kappa, totalEpochs, silent, success, overfull, totalErrors, frac,
+			math.Pow(float64(kappa), 0.25))
+		xs = append(xs, math.Pow(float64(kappa), 0.25))
+		if frac > 0 {
+			ys = append(ys, frac)
+		} else {
+			ys = append(ys, 0.5/math.Max(1, float64(totalEpochs))) // plotting floor: < 1/epochs
+		}
+	}
+	out.Tables = append(out.Tables, tbl)
+
+	plot := asciiplot.Plot{
+		Title:  "Error-epoch fraction vs κ^(1/4)  (paper: ≤ 2^(−Θ(κ^{1/4})): straight line down on log scale)",
+		XLabel: "kappa^(1/4)", YLabel: "error fraction",
+		Width: 60, Height: 14, LogY: true,
+	}
+	plot.Add(asciiplot.Series{Name: "measured (0 plotted as <1/epochs)", X: xs, Y: ys})
+	out.Plots = append(out.Plots, plot.Render())
+	out.Notes = append(out.Notes,
+		"error classification uses Definition 2 exactly, evaluated per epoch by the protocol's own accounting",
+		"zero observed errors at large κ are consistent with the exponential bound (expected count << 1)")
+	return out
+}

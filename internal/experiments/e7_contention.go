@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arrival"
+	"repro/internal/asciiplot"
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// E7Contention reproduces the Section 3 contention-control claim: the
+// backon/backoff mechanism drives the contention (sum of joining
+// probabilities) into the good window [κ^(1/4), κ^(3/4)] around the
+// target c* = √κ.
+//
+// The claim is about the loaded regime: with fewer than √κ active
+// packets, contention necessarily sits below the target (every
+// probability caps at 1), and that is not a control failure — those
+// epochs drain the system a packet or two at a time.  The table
+// therefore reports occupancy both over all epochs and conditioned on
+// load (active ≥ √κ), and a burst workload exercises the regime where
+// the mechanism actually steers.
+func E7Contention(scale Scale, seed uint64) *Output {
+	out := &Output{
+		ID:    "E7",
+		Title: "contention trajectory around the target c* = √κ",
+		Claim: "Section 3: under load, contention stays in [κ^(1/4), κ^(3/4)] (\"good\"); target c* = √κ",
+	}
+	kappas := []int{16, 64, 256}
+	horizon := int64(scale.pick(60_000, 250_000))
+
+	tbl := report.NewTable("Per-epoch contention occupancy (bursts 3/4·w per w=2048 window)",
+		"kappa", "epochs", "loaded epochs", "good|loaded", "good|all", "mean c|loaded", "c*=√κ", "κ^(1/4)", "κ^(3/4)")
+	var tracePlot string
+	for _, kappa := range kappas {
+		lo := math.Pow(float64(kappa), 0.25)
+		hi := math.Pow(float64(kappa), 0.75)
+		loadFloor := math.Sqrt(float64(kappa))
+		var goodAll, total, loaded, goodLoaded int64
+		var meanLoaded stats.Summary
+		trace := stats.NewSeries(1024)
+		obs := protocol.EpochObserverFunc(func(info protocol.EpochInfo) {
+			if info.Active == 0 {
+				return // empty system: nothing to control
+			}
+			total++
+			inWindow := info.Contention >= lo && info.Contention <= hi
+			if inWindow {
+				goodAll++
+			}
+			if float64(info.Active) >= loadFloor {
+				loaded++
+				meanLoaded.Add(info.Contention)
+				trace.Add(info.Start, info.Contention)
+				if inWindow {
+					goodLoaded++
+				}
+			}
+		})
+		d := core.New(kappa, rng.New(seed^uint64(kappa)), core.WithEpochObserver(obs))
+		const w = 2048
+		sim.Run(sim.Config{Kappa: kappa, Horizon: horizon, Seed: seed + uint64(kappa)},
+			d, &arrival.WindowBurst{Window: w, PerWindow: 3 * w / 4})
+		if total == 0 {
+			continue
+		}
+		gl := 0.0
+		if loaded > 0 {
+			gl = float64(goodLoaded) / float64(loaded)
+		}
+		tbl.AddRow(kappa, total, loaded, gl,
+			float64(goodAll)/float64(total), meanLoaded.Mean(),
+			math.Sqrt(float64(kappa)), lo, hi)
+		if kappa == 64 && trace.Len() > 1 {
+			xs := make([]float64, trace.Len())
+			target := make([]float64, trace.Len())
+			for i := range xs {
+				xs[i] = float64(trace.T[i])
+				target[i] = math.Sqrt(float64(kappa))
+			}
+			p := asciiplot.Plot{
+				Title:  fmt.Sprintf("Contention per loaded epoch (κ=%d), target √κ = %.0f", kappa, math.Sqrt(float64(kappa))),
+				XLabel: "slot", YLabel: "contention", Width: 64, Height: 12,
+			}
+			p.Add(asciiplot.Series{Name: "contention", X: xs, Y: trace.V})
+			p.Add(asciiplot.Series{Name: "target", X: xs, Y: target})
+			tracePlot = p.Render()
+		}
+	}
+	out.Tables = append(out.Tables, tbl)
+	if tracePlot != "" {
+		out.Plots = append(out.Plots, tracePlot)
+	}
+	out.Notes = append(out.Notes,
+		"\"loaded\" = epochs with at least √κ active packets, the regime where the good window is reachable",
+		"below √κ active packets, every probability caps at 1 and contention = #active < c*: the system is simply draining, not miscontrolled",
+		"the out-of-window remainder is the recovery transient after each burst (activation spikes contention above κ^(3/4); a few ÷κ^(1/4) steps re-center it) — the \"moving closer to a good group structure\" phase of the potential argument")
+	return out
+}

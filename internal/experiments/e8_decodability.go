@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/report"
+	"repro/internal/rlnc"
+	"repro/internal/rng"
+)
+
+// E8Decodability validates the model's information-theoretic premise
+// (Section 2, "Practicalities"): a decoding window with j good slots
+// carries enough information to decode j packets.  With random linear
+// coding over GF(2^8) the j×j coefficient matrix is invertible with
+// probability Π(1−256^{-i}) ≈ 0.996 independent of j; over GF(2) the
+// probability drops to ≈ 0.289 — quantifying why real systems code over
+// larger fields.  An end-to-end RLNC run confirms groups decode in j
+// slots plus a tiny retry tail.
+func E8Decodability(scale Scale, seed uint64) *Output {
+	out := &Output{
+		ID:    "E8",
+		Title: "decoding-window decodability under random linear coding",
+		Claim: "j good slots suffice to decode j packets; random GF(2^8) matrices invertible w.p. ≈ 0.996",
+	}
+	sizes := []int{1, 2, 4, 8, 16, 32}
+	trials := scale.pick(400, 2000)
+	r := rng.New(seed ^ 0xE8)
+
+	tbl := report.NewTable("Invertibility of random j×j transmission matrices",
+		"j", "GF(256) measured", "GF(256) theory", "GF(2) measured", "GF(2) theory")
+	for _, j := range sizes {
+		inv256, inv2 := 0, 0
+		for t := 0; t < trials; t++ {
+			m := linalg.NewMatrix(j, j)
+			for a := 0; a < j; a++ {
+				row := m.Row(a)
+				for b := range row {
+					row[b] = byte(r.Uint64())
+				}
+			}
+			if m.Invertible() {
+				inv256++
+			}
+			bm := linalg.NewBitMatrix(j, j)
+			for a := 0; a < j; a++ {
+				for b := 0; b < j; b++ {
+					bm.Set(a, b, r.Uint64()&1 == 1)
+				}
+			}
+			if bm.Invertible() {
+				inv2++
+			}
+		}
+		tbl.AddRow(j,
+			float64(inv256)/float64(trials), invertibleTheory(256, j),
+			float64(inv2)/float64(trials), invertibleTheory(2, j))
+	}
+	out.Tables = append(out.Tables, tbl)
+
+	// End-to-end: a group of j packets broadcasting together decodes in
+	// j slots except when the random matrix is singular, in which case a
+	// slot or two of retries completes it.
+	e2e := report.NewTable("End-to-end RLNC group decode (random nonzero coefficients)",
+		"j", "trials", "mean slots", "exactly j", "j+1", "worst")
+	for _, j := range []int{2, 4, 8, 16} {
+		var totalSlots, exact, plusOne, worst int
+		n := scale.pick(100, 400)
+		for t := 0; t < n; t++ {
+			payloads := make([][]byte, j)
+			for i := range payloads {
+				p := make([]byte, 16)
+				for b := range p {
+					p[b] = byte(r.Uint64())
+				}
+				payloads[i] = p
+			}
+			enc, err := rlnc.NewEncoder(payloads)
+			if err != nil {
+				panic(err)
+			}
+			dec := rlnc.NewDecoder(j, 16)
+			group := make([]int, j)
+			for i := range group {
+				group[i] = i
+			}
+			slots := 0
+			for !dec.Complete() {
+				s, err := enc.Slot(group, r)
+				if err != nil {
+					panic(err)
+				}
+				dec.Add(s)
+				slots++
+			}
+			totalSlots += slots
+			switch {
+			case slots == j:
+				exact++
+			case slots == j+1:
+				plusOne++
+			}
+			if slots > worst {
+				worst = slots
+			}
+		}
+		e2e.AddRow(j, n, float64(totalSlots)/float64(n),
+			fmt.Sprintf("%.1f%%", 100*float64(exact)/float64(n)),
+			fmt.Sprintf("%.1f%%", 100*float64(plusOne)/float64(n)), worst)
+	}
+	out.Tables = append(out.Tables, e2e)
+	out.Notes = append(out.Notes,
+		"theory: Π_{i=1..j}(1−q^{-i}); limits ≈ 0.9961 (q=256) and ≈ 0.2888 (q=2)",
+		"the abstract channel model charges exactly j slots; RLNC pays ≈ 0.4% extra slots over GF(2^8), confirming the abstraction is tight",
+		"nonzero coefficients only (each transmitter scales by a random unit), hence mean slots slightly better than the all-random matrix theory")
+	return out
+}
+
+// invertibleTheory returns Π_{i=1..j}(1 − q^{-i}), the probability a
+// uniformly random j×j matrix over GF(q) is invertible.
+func invertibleTheory(q float64, j int) float64 {
+	p := 1.0
+	for i := 1; i <= j; i++ {
+		p *= 1 - math.Pow(q, -float64(i))
+	}
+	return p
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/phy"
+	"repro/internal/report"
+	"repro/internal/rng"
+)
+
+// E9ZigZag reproduces the motivating systems result the paper cites
+// (Section 1): ZigZag decoding turns hidden-terminal collisions from
+// near-total loss into near-lossless delivery ("reduced packet loss from
+// approximately 72% to less than 1%"), while respecting capacity — two
+// packets still cost two slots ("the same throughput as if the colliding
+// packets were a priori scheduled in separate time slots").
+func E9ZigZag(scale Scale, seed uint64) *Output {
+	out := &Output{
+		ID:    "E9",
+		Title: "collision recovery: naive decode vs ZigZag across two collisions",
+		Claim: "ZigZag: hidden-terminal packet loss ~72% → <1%; throughput equals separate scheduling",
+	}
+	const bits = 400
+	trials := scale.pick(300, 1500)
+	r := rng.New(seed ^ 0xE9)
+
+	tbl := report.NewTable("Two equal-power senders, random offsets, packet = lost if any bit errs",
+		"noise σ", "naive loss", "zigzag loss", "zigzag BER", "slots/packet")
+	for _, sigma := range []float64{0, 0.05, 0.1, 0.2} {
+		naiveLost, zigzagLost := 0, 0
+		var bitErrs, bitTotal int
+		for t := 0; t < trials; t++ {
+			a := phy.RandomBits(bits, r)
+			b := phy.RandomBits(bits, r)
+			off1 := 1 + int(r.Intn(bits/8))
+			off2 := 1 + int(r.Intn(bits/8))
+			for off2 == off1 {
+				off2 = 1 + int(r.Intn(bits/8))
+			}
+			c1 := phy.NewCollision(a, b, 1, 1, off1, sigma, r)
+			c2 := phy.NewCollision(a, b, 1, 1, off2, sigma, r)
+
+			// Naive receiver: single collision, equal power — decode both
+			// directly from c1, interference uncancelled.
+			segA := c1.Y[:bits]
+			decA := phy.DemodulateBPSK(segA, 1)
+			segB := make(phy.Signal, bits)
+			copy(segB, c1.Y[off1:off1+bits])
+			decB := phy.DemodulateBPSK(segB, 1)
+			if phy.BitErrors(a, decA) > 0 {
+				naiveLost++
+			}
+			if phy.BitErrors(b, decB) > 0 {
+				naiveLost++
+			}
+
+			// ZigZag across the two collisions.
+			zA, zB, err := phy.ZigZagDecode(c1, c2, bits, bits)
+			if err != nil {
+				zigzagLost += 2
+				continue
+			}
+			ea, eb := phy.BitErrors(a, zA), phy.BitErrors(b, zB)
+			if ea > 0 {
+				zigzagLost++
+			}
+			if eb > 0 {
+				zigzagLost++
+			}
+			bitErrs += ea + eb
+			bitTotal += 2 * bits
+		}
+		den := float64(2 * trials)
+		tbl.AddRow(fmt.Sprintf("%.2f", sigma),
+			fmt.Sprintf("%.1f%%", 100*float64(naiveLost)/den),
+			fmt.Sprintf("%.2f%%", 100*float64(zigzagLost)/den),
+			fmt.Sprintf("%.2e", float64(bitErrs)/float64(maxInt(bitTotal, 1))),
+			"1.0 (2 pkts / 2 collisions)")
+	}
+	out.Tables = append(out.Tables, tbl)
+	out.Notes = append(out.Notes,
+		"equal-power overlap makes single-collision decoding hopeless (differing bits sum to 0: coin-flip decisions)",
+		"ZigZag needs two collisions for two packets — exactly the capacity the coded-radio model charges (j packets ⇒ j slots)",
+		"offsets are random per retransmission, as in the ZigZag paper; identical offsets (probability ~1/50 here, excluded) would fail")
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

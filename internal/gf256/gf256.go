@@ -1,0 +1,142 @@
+// Package gf256 implements arithmetic in the finite field GF(2^8) with
+// the AES reduction polynomial x^8 + x^4 + x^3 + x + 1 (0x11b).
+//
+// The field is the coefficient domain for random linear network coding
+// (package rlnc): each transmitted slot carries a random GF(2^8)
+// combination of the packets broadcasting in it, and a decoding window is
+// decodable exactly when the coefficient matrix is invertible.  Multiply
+// and divide use log/exp tables built once at package initialization.
+package gf256
+
+// Poly is the irreducible reduction polynomial, x^8+x^4+x^3+x+1.
+const Poly = 0x11b
+
+// Generator of the multiplicative group used for the log/exp tables.
+const generator = 0x03
+
+var (
+	expTable [512]byte // doubled so Mul can skip a modular reduction
+	logTable [256]byte
+)
+
+func init() {
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		expTable[i] = x
+		logTable[x] = byte(i)
+		x = mulSlow(x, generator)
+	}
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+// mulSlow multiplies two field elements by shift-and-reduce.  It is the
+// reference implementation used to build the tables and in tests.
+func mulSlow(a, b byte) byte {
+	var p uint16
+	aa, bb := uint16(a), uint16(b)
+	for bb != 0 {
+		if bb&1 != 0 {
+			p ^= aa
+		}
+		aa <<= 1
+		if aa&0x100 != 0 {
+			aa ^= Poly
+		}
+		bb >>= 1
+	}
+	return byte(p)
+}
+
+// Add returns a+b in GF(2^8).  Addition is XOR; it is its own inverse.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a-b in GF(2^8), identical to Add in characteristic 2.
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a/b in GF(2^8).  It panics if b == 0.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+255-int(logTable[b])]
+}
+
+// Inv returns the multiplicative inverse of a.  It panics if a == 0.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Pow returns a raised to the n-th power.  Pow(0, 0) is defined as 1.
+func Pow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	la := int(logTable[a])
+	e := (la * (n % 255)) % 255
+	if e < 0 {
+		e += 255
+	}
+	return expTable[e]
+}
+
+// MulSlice sets dst[i] ^= c * src[i] for all i, the fused
+// multiply-accumulate used by the network-coding encoder and the
+// Gaussian-elimination inner loop.  dst and src must have equal length.
+func MulSlice(dst, src []byte, c byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		for i := range dst {
+			dst[i] ^= src[i]
+		}
+	default:
+		lc := int(logTable[c])
+		for i, s := range src {
+			if s != 0 {
+				dst[i] ^= expTable[lc+int(logTable[s])]
+			}
+		}
+	}
+}
+
+// ScaleSlice multiplies every element of s by c in place.
+func ScaleSlice(s []byte, c byte) {
+	switch c {
+	case 0:
+		for i := range s {
+			s[i] = 0
+		}
+	case 1:
+		return
+	default:
+		lc := int(logTable[c])
+		for i, v := range s {
+			if v != 0 {
+				s[i] = expTable[lc+int(logTable[v])]
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMulMatchesSlow(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := Mul(byte(a), byte(b)), mulSlow(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	// Associativity and commutativity of * and +, distributivity.
+	f := func(a, b, c byte) bool {
+		if Add(a, b) != Add(b, a) || Mul(a, b) != Mul(b, a) {
+			return false
+		}
+		if Add(Add(a, b), c) != Add(a, Add(b, c)) {
+			return false
+		}
+		if Mul(Mul(a, b), c) != Mul(a, Mul(b, c)) {
+			return false
+		}
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentities(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		x := byte(a)
+		if Add(x, 0) != x {
+			t.Fatalf("additive identity fails for %d", a)
+		}
+		if Mul(x, 1) != x {
+			t.Fatalf("multiplicative identity fails for %d", a)
+		}
+		if Add(x, x) != 0 {
+			t.Fatalf("characteristic 2 fails for %d", a)
+		}
+	}
+}
+
+func TestInverses(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		x := byte(a)
+		if Mul(x, Inv(x)) != 1 {
+			t.Fatalf("Inv(%d) wrong", a)
+		}
+		if Div(x, x) != 1 {
+			t.Fatalf("Div(%d,%d) != 1", a, a)
+		}
+	}
+}
+
+func TestDivIsMulByInv(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Div(a, b) == Mul(a, Inv(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	Div(5, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestPow(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		x := byte(a)
+		want := byte(1)
+		for n := 0; n < 10; n++ {
+			if got := Pow(x, n); got != want {
+				t.Fatalf("Pow(%d,%d) = %d, want %d", a, n, got, want)
+			}
+			want = Mul(want, x)
+		}
+	}
+	// Fermat: a^255 = 1 for a != 0.
+	for a := 1; a < 256; a++ {
+		if Pow(byte(a), 255) != 1 {
+			t.Fatalf("Pow(%d,255) != 1", a)
+		}
+	}
+}
+
+func TestGeneratorOrder(t *testing.T) {
+	// The generator must have order 255 (i.e. hit every nonzero element).
+	seen := make(map[byte]bool)
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		if seen[x] {
+			t.Fatalf("generator cycle shorter than 255 (repeat at %d)", i)
+		}
+		seen[x] = true
+		x = mulSlow(x, generator)
+	}
+	if len(seen) != 255 {
+		t.Fatalf("generator hit %d elements, want 255", len(seen))
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{1, 2, 3, 0, 255, 17}
+	for _, c := range []byte{0, 1, 2, 93, 255} {
+		dst := []byte{9, 8, 7, 6, 5, 4}
+		want := make([]byte, len(dst))
+		for i := range dst {
+			want[i] = Add(dst[i], Mul(c, src[i]))
+		}
+		MulSlice(dst, src, c)
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("MulSlice c=%d index %d: got %d want %d", c, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulSlice length mismatch did not panic")
+		}
+	}()
+	MulSlice(make([]byte, 2), make([]byte, 3), 1)
+}
+
+func TestScaleSlice(t *testing.T) {
+	for _, c := range []byte{0, 1, 7, 200} {
+		s := []byte{0, 1, 2, 50, 255}
+		want := make([]byte, len(s))
+		for i := range s {
+			want[i] = Mul(s[i], c)
+		}
+		ScaleSlice(s, c)
+		for i := range s {
+			if s[i] != want[i] {
+				t.Fatalf("ScaleSlice c=%d index %d: got %d want %d", c, i, s[i], want[i])
+			}
+		}
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Mul(byte(i), byte(i>>8))
+	}
+}
+
+func BenchmarkMulSlice1K(b *testing.B) {
+	dst := make([]byte, 1024)
+	src := make([]byte, 1024)
+	for i := range src {
+		src[i] = byte(i*7 + 1)
+	}
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		MulSlice(dst, src, byte(i)|1)
+	}
+}

@@ -1,0 +1,63 @@
+// Package jam provides adversarial jammers: processes that spoil slots
+// with noise energy.  Jamming is not part of the paper's model — the
+// paper cites a separate literature for jamming-robust backoff
+// (Awerbuch–Richa–Scheideler and successors) — but it is the natural
+// failure-injection probe for a protocol whose two feedback signals are
+// silence and decoding events: a jammed slot is audibly busy and
+// contributes nothing to decoding windows.
+package jam
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Jammer decides, slot by slot, whether noise energy occupies the slot.
+type Jammer interface {
+	// Name identifies the jammer in reports.
+	Name() string
+	// Jammed reports whether slot now is jammed.  The engine calls it
+	// once per simulated slot in increasing order.
+	Jammed(now int64, r *rng.Rand) bool
+}
+
+// None never jams.
+type None struct{}
+
+// Name implements Jammer.
+func (None) Name() string { return "none" }
+
+// Jammed implements Jammer.
+func (None) Jammed(int64, *rng.Rand) bool { return false }
+
+// Random jams each slot independently with probability Rate.
+type Random struct {
+	Rate float64
+}
+
+// Name implements Jammer.
+func (j *Random) Name() string { return fmt.Sprintf("random(%.3f)", j.Rate) }
+
+// Jammed implements Jammer.
+func (j *Random) Jammed(now int64, r *rng.Rand) bool {
+	return r.Bernoulli(j.Rate)
+}
+
+// Periodic jams Burst consecutive slots at the start of every Period
+// slots — a duty-cycled jammer.
+type Periodic struct {
+	Period int64
+	Burst  int64
+}
+
+// Name implements Jammer.
+func (j *Periodic) Name() string { return fmt.Sprintf("periodic(%d/%d)", j.Burst, j.Period) }
+
+// Jammed implements Jammer.
+func (j *Periodic) Jammed(now int64, _ *rng.Rand) bool {
+	if j.Period <= 0 {
+		return false
+	}
+	return now%j.Period < j.Burst
+}

@@ -1,0 +1,70 @@
+package jam
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNone(t *testing.T) {
+	var j None
+	r := rng.New(1)
+	for now := int64(0); now < 100; now++ {
+		if j.Jammed(now, r) {
+			t.Fatal("None jammed a slot")
+		}
+	}
+	if j.Name() != "none" {
+		t.Fatalf("name %q", j.Name())
+	}
+}
+
+func TestRandomRate(t *testing.T) {
+	j := &Random{Rate: 0.25}
+	r := rng.New(2)
+	hits := 0
+	const n = 100000
+	for now := int64(0); now < n; now++ {
+		if j.Jammed(now, r) {
+			hits++
+		}
+	}
+	if got := float64(hits) / n; math.Abs(got-0.25) > 0.01 {
+		t.Fatalf("random jam rate %v", got)
+	}
+}
+
+func TestRandomEdges(t *testing.T) {
+	r := rng.New(3)
+	if (&Random{Rate: 0}).Jammed(0, r) {
+		t.Fatal("rate-0 jammed")
+	}
+	if !(&Random{Rate: 1}).Jammed(0, r) {
+		t.Fatal("rate-1 did not jam")
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	j := &Periodic{Period: 10, Burst: 3}
+	r := rng.New(4)
+	for now := int64(0); now < 50; now++ {
+		want := now%10 < 3
+		if j.Jammed(now, r) != want {
+			t.Fatalf("slot %d: jammed=%v want %v", now, j.Jammed(now, r), want)
+		}
+	}
+}
+
+func TestPeriodicZeroPeriod(t *testing.T) {
+	j := &Periodic{Period: 0, Burst: 1}
+	if j.Jammed(5, rng.New(1)) {
+		t.Fatal("zero-period jammer jammed")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (&Random{Rate: 0.5}).Name() == "" || (&Periodic{Period: 2, Burst: 1}).Name() == "" {
+		t.Fatal("empty jammer name")
+	}
+}

@@ -1,0 +1,225 @@
+// Package linalg provides dense matrices over GF(2) and GF(2^8) with
+// Gaussian elimination, rank, and inversion.
+//
+// The coded radio network model's information-theoretic constraint —
+// decoding j packets needs j good slots — is realized by linear network
+// coding: the slots of a decoding window form a transmission matrix, and
+// decoding succeeds exactly when that matrix has full rank.  This package
+// supplies the rank/inversion machinery used by package rlnc and by the
+// decodability experiment (E8).
+package linalg
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// BitMatrix is a dense matrix over GF(2) with bit-packed rows.
+// The zero value is an empty matrix; use NewBitMatrix to size one.
+type BitMatrix struct {
+	rows, cols int
+	words      int // uint64 words per row
+	data       []uint64
+}
+
+// NewBitMatrix returns a rows×cols zero matrix over GF(2).
+func NewBitMatrix(rows, cols int) *BitMatrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	words := (cols + 63) / 64
+	return &BitMatrix{rows: rows, cols: cols, words: words, data: make([]uint64, rows*words)}
+}
+
+// Rows returns the number of rows.
+func (m *BitMatrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *BitMatrix) Cols() int { return m.cols }
+
+func (m *BitMatrix) row(i int) []uint64 {
+	return m.data[i*m.words : (i+1)*m.words]
+}
+
+// Get returns the bit at (i, j).
+func (m *BitMatrix) Get(i, j int) bool {
+	m.check(i, j)
+	return m.row(i)[j/64]>>(uint(j)%64)&1 == 1
+}
+
+// Set assigns the bit at (i, j).
+func (m *BitMatrix) Set(i, j int, v bool) {
+	m.check(i, j)
+	w := &m.row(i)[j/64]
+	mask := uint64(1) << (uint(j) % 64)
+	if v {
+		*w |= mask
+	} else {
+		*w &^= mask
+	}
+}
+
+func (m *BitMatrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("linalg: index (%d,%d) out of %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy.
+func (m *BitMatrix) Clone() *BitMatrix {
+	c := NewBitMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// xorRow adds (XORs) row src into row dst.
+func (m *BitMatrix) xorRow(dst, src int) {
+	d, s := m.row(dst), m.row(src)
+	for k := range d {
+		d[k] ^= s[k]
+	}
+}
+
+// swapRows exchanges rows i and j.
+func (m *BitMatrix) swapRows(i, j int) {
+	if i == j {
+		return
+	}
+	a, b := m.row(i), m.row(j)
+	for k := range a {
+		a[k], b[k] = b[k], a[k]
+	}
+}
+
+// Rank returns the rank of the matrix over GF(2).  The receiver is not
+// modified.
+func (m *BitMatrix) Rank() int {
+	w := m.Clone()
+	rank := 0
+	for col := 0; col < w.cols && rank < w.rows; col++ {
+		pivot := -1
+		for i := rank; i < w.rows; i++ {
+			if w.Get(i, col) {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		w.swapRows(rank, pivot)
+		for i := 0; i < w.rows; i++ {
+			if i != rank && w.Get(i, col) {
+				w.xorRow(i, rank)
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// Invertible reports whether the matrix is square and has full rank.
+func (m *BitMatrix) Invertible() bool {
+	return m.rows == m.cols && m.Rank() == m.rows
+}
+
+// Inverse returns the inverse matrix, or an error if the matrix is not
+// square or is singular.
+func (m *BitMatrix) Inverse() (*BitMatrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("linalg: inverse of non-square %dx%d matrix", m.rows, m.cols)
+	}
+	n := m.rows
+	w := m.Clone()
+	inv := IdentityBit(n)
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for i := col; i < n; i++ {
+			if w.Get(i, col) {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("linalg: singular GF(2) matrix")
+		}
+		w.swapRows(col, pivot)
+		inv.swapRows(col, pivot)
+		for i := 0; i < n; i++ {
+			if i != col && w.Get(i, col) {
+				w.xorRow(i, col)
+				inv.xorRow(i, col)
+			}
+		}
+	}
+	return inv, nil
+}
+
+// IdentityBit returns the n×n identity matrix over GF(2).
+func IdentityBit(n int) *BitMatrix {
+	m := NewBitMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, true)
+	}
+	return m
+}
+
+// MulBit returns the matrix product a·b over GF(2).
+func MulBit(a, b *BitMatrix) *BitMatrix {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("linalg: MulBit dimension mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := NewBitMatrix(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		ar := a.row(i)
+		or := out.row(i)
+		for k := 0; k < a.cols; k++ {
+			if ar[k/64]>>(uint(k)%64)&1 == 1 {
+				br := b.row(k)
+				for w := range or {
+					or[w] ^= br[w]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// PopCount returns the number of one-bits in the matrix.
+func (m *BitMatrix) PopCount() int {
+	n := 0
+	for _, w := range m.data {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Equal reports whether two bit matrices have identical shape and contents.
+func (m *BitMatrix) Equal(o *BitMatrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i, w := range m.data {
+		if w != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix as rows of 0s and 1s (testing/debugging aid).
+func (m *BitMatrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if m.Get(i, j) {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

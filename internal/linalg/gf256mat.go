@@ -1,0 +1,213 @@
+package linalg
+
+import (
+	"fmt"
+
+	"repro/internal/gf256"
+)
+
+// Matrix is a dense matrix over GF(2^8), stored row-major.
+type Matrix struct {
+	rows, cols int
+	data       []byte
+}
+
+// NewMatrix returns a rows×cols zero matrix over GF(2^8).
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Row returns row i as a mutable slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []byte {
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Get returns the element at (i, j).
+func (m *Matrix) Get(i, j int) byte {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v byte) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("linalg: index (%d,%d) out of %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Identity returns the n×n identity matrix over GF(2^8).
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Mul returns the matrix product a·b over GF(2^8).
+func Mul(a, b *Matrix) *Matrix {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("linalg: Mul dimension mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := NewMatrix(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		or := out.Row(i)
+		ar := a.Row(i)
+		for k, av := range ar {
+			if av != 0 {
+				gf256.MulSlice(or, b.Row(k), av)
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix–vector product m·x over GF(2^8).
+func (m *Matrix) MulVec(x []byte) []byte {
+	if len(x) != m.cols {
+		panic("linalg: MulVec dimension mismatch")
+	}
+	out := make([]byte, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var acc byte
+		for j, v := range m.Row(i) {
+			if v != 0 && x[j] != 0 {
+				acc ^= gf256.Mul(v, x[j])
+			}
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Rank returns the rank of the matrix over GF(2^8).  The receiver is not
+// modified.
+func (m *Matrix) Rank() int {
+	w := m.Clone()
+	rank := 0
+	for col := 0; col < w.cols && rank < w.rows; col++ {
+		pivot := -1
+		for i := rank; i < w.rows; i++ {
+			if w.Get(i, col) != 0 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		w.swapRows(rank, pivot)
+		pr := w.Row(rank)
+		gf256.ScaleSlice(pr, gf256.Inv(pr[col]))
+		for i := 0; i < w.rows; i++ {
+			if i != rank {
+				if c := w.Get(i, col); c != 0 {
+					gf256.MulSlice(w.Row(i), pr, c)
+				}
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+func (m *Matrix) swapRows(i, j int) {
+	if i == j {
+		return
+	}
+	a, b := m.Row(i), m.Row(j)
+	for k := range a {
+		a[k], b[k] = b[k], a[k]
+	}
+}
+
+// Invertible reports whether the matrix is square and has full rank.
+func (m *Matrix) Invertible() bool {
+	return m.rows == m.cols && m.Rank() == m.rows
+}
+
+// Inverse returns the inverse matrix, or an error if the matrix is not
+// square or is singular.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("linalg: inverse of non-square %dx%d matrix", m.rows, m.cols)
+	}
+	n := m.rows
+	w := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for i := col; i < n; i++ {
+			if w.Get(i, col) != 0 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("linalg: singular GF(2^8) matrix")
+		}
+		w.swapRows(col, pivot)
+		inv.swapRows(col, pivot)
+		c := gf256.Inv(w.Get(col, col))
+		gf256.ScaleSlice(w.Row(col), c)
+		gf256.ScaleSlice(inv.Row(col), c)
+		for i := 0; i < n; i++ {
+			if i != col {
+				if c := w.Get(i, col); c != 0 {
+					gf256.MulSlice(w.Row(i), w.Row(col), c)
+					gf256.MulSlice(inv.Row(i), inv.Row(col), c)
+				}
+			}
+		}
+	}
+	return inv, nil
+}
+
+// Equal reports whether two matrices have identical shape and contents.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if v != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve solves m·x = b for x, where m must be square and invertible.
+func (m *Matrix) Solve(b []byte) ([]byte, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("linalg: Solve needs a square matrix, have %dx%d", m.rows, m.cols)
+	}
+	if len(b) != m.rows {
+		return nil, fmt.Errorf("linalg: Solve dimension mismatch: %d rows vs %d rhs", m.rows, len(b))
+	}
+	inv, err := m.Inverse()
+	if err != nil {
+		return nil, err
+	}
+	return inv.MulVec(b), nil
+}

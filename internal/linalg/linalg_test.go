@@ -1,0 +1,316 @@
+package linalg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gf256"
+	"repro/internal/rng"
+)
+
+func randomBitMatrix(r *rng.Rand, rows, cols int) *BitMatrix {
+	m := NewBitMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, r.Uint64()&1 == 1)
+		}
+	}
+	return m
+}
+
+func randomMatrix(r *rng.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, byte(r.Uint64()))
+		}
+	}
+	return m
+}
+
+func TestBitMatrixGetSet(t *testing.T) {
+	m := NewBitMatrix(3, 70) // spans two words per row
+	m.Set(0, 0, true)
+	m.Set(2, 69, true)
+	m.Set(1, 64, true)
+	if !m.Get(0, 0) || !m.Get(2, 69) || !m.Get(1, 64) {
+		t.Fatal("set bits not readable")
+	}
+	if m.Get(0, 1) || m.Get(1, 63) {
+		t.Fatal("unset bits read as set")
+	}
+	m.Set(2, 69, false)
+	if m.Get(2, 69) {
+		t.Fatal("clearing a bit failed")
+	}
+}
+
+func TestBitMatrixOutOfRangePanics(t *testing.T) {
+	m := NewBitMatrix(2, 2)
+	for _, f := range []func(){
+		func() { m.Get(2, 0) },
+		func() { m.Get(0, 2) },
+		func() { m.Set(-1, 0, true) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIdentityBitRankAndInverse(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 65} {
+		id := IdentityBit(n)
+		if id.Rank() != n {
+			t.Fatalf("identity rank %d != %d", id.Rank(), n)
+		}
+		inv, err := id.Inverse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inv.Equal(id) {
+			t.Fatalf("identity inverse is not identity (n=%d)", n)
+		}
+	}
+}
+
+func TestBitInverseRoundTrip(t *testing.T) {
+	r := rng.New(101)
+	tried, inverted := 0, 0
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(40)
+		m := randomBitMatrix(r, n, n)
+		tried++
+		inv, err := m.Inverse()
+		if err != nil {
+			if m.Rank() == n {
+				t.Fatalf("full-rank matrix reported singular (n=%d)", n)
+			}
+			continue
+		}
+		inverted++
+		if prod := MulBit(m, inv); !prod.Equal(IdentityBit(n)) {
+			t.Fatalf("m·m^-1 != I over GF(2), n=%d", n)
+		}
+		if prod := MulBit(inv, m); !prod.Equal(IdentityBit(n)) {
+			t.Fatalf("m^-1·m != I over GF(2), n=%d", n)
+		}
+	}
+	if inverted == 0 {
+		t.Fatalf("no random matrix was invertible in %d tries (suspicious)", tried)
+	}
+}
+
+func TestBitRankProperties(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 30; trial++ {
+		rows, cols := 1+r.Intn(20), 1+r.Intn(20)
+		m := randomBitMatrix(r, rows, cols)
+		rk := m.Rank()
+		if rk < 0 || rk > rows || rk > cols {
+			t.Fatalf("rank %d out of bounds for %dx%d", rk, rows, cols)
+		}
+		// Duplicating a row cannot increase rank.
+		if rows >= 2 {
+			dup := m.Clone()
+			for j := 0; j < cols; j++ {
+				dup.Set(rows-1, j, dup.Get(0, j))
+			}
+			if dup.Rank() > rk {
+				t.Fatalf("duplicated row increased rank: %d > %d", dup.Rank(), rk)
+			}
+		}
+	}
+}
+
+func TestZeroBitMatrix(t *testing.T) {
+	m := NewBitMatrix(4, 4)
+	if m.Rank() != 0 {
+		t.Fatalf("zero matrix rank %d", m.Rank())
+	}
+	if m.Invertible() {
+		t.Fatal("zero matrix reported invertible")
+	}
+	if _, err := m.Inverse(); err == nil {
+		t.Fatal("zero matrix inverse did not error")
+	}
+}
+
+func TestMulBitIdentity(t *testing.T) {
+	r := rng.New(7)
+	m := randomBitMatrix(r, 9, 13)
+	if !MulBit(IdentityBit(9), m).Equal(m) {
+		t.Fatal("I·m != m")
+	}
+	if !MulBit(m, IdentityBit(13)).Equal(m) {
+		t.Fatal("m·I != m")
+	}
+}
+
+func TestPopCount(t *testing.T) {
+	m := NewBitMatrix(3, 100)
+	if m.PopCount() != 0 {
+		t.Fatal("empty popcount nonzero")
+	}
+	m.Set(0, 0, true)
+	m.Set(1, 99, true)
+	m.Set(2, 64, true)
+	if m.PopCount() != 3 {
+		t.Fatalf("popcount %d, want 3", m.PopCount())
+	}
+}
+
+func TestBitString(t *testing.T) {
+	m := NewBitMatrix(2, 3)
+	m.Set(0, 1, true)
+	m.Set(1, 2, true)
+	if got, want := m.String(), "010\n001\n"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestGF256IdentityAndMul(t *testing.T) {
+	r := rng.New(11)
+	m := randomMatrix(r, 6, 8)
+	if !Mul(Identity(6), m).Equal(m) {
+		t.Fatal("I·m != m over GF(2^8)")
+	}
+	if !Mul(m, Identity(8)).Equal(m) {
+		t.Fatal("m·I != m over GF(2^8)")
+	}
+}
+
+func TestGF256InverseRoundTrip(t *testing.T) {
+	r := rng.New(13)
+	inverted := 0
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(24)
+		m := randomMatrix(r, n, n)
+		inv, err := m.Inverse()
+		if err != nil {
+			if m.Rank() == n {
+				t.Fatalf("full-rank GF(2^8) matrix reported singular")
+			}
+			continue
+		}
+		inverted++
+		if !Mul(m, inv).Equal(Identity(n)) {
+			t.Fatalf("m·m^-1 != I over GF(2^8), n=%d", n)
+		}
+		if !Mul(inv, m).Equal(Identity(n)) {
+			t.Fatalf("m^-1·m != I over GF(2^8), n=%d", n)
+		}
+	}
+	// Random GF(256) square matrices are invertible w.p. ~0.996.
+	if inverted < 30 {
+		t.Fatalf("only %d/40 random GF(2^8) matrices invertible (expected ~40)", inverted)
+	}
+}
+
+func TestGF256MulVecMatchesMul(t *testing.T) {
+	r := rng.New(17)
+	f := func(seed uint64) bool {
+		rr := rng.New(seed)
+		rows, cols := 1+rr.Intn(10), 1+rr.Intn(10)
+		m := randomMatrix(rr, rows, cols)
+		x := make([]byte, cols)
+		for i := range x {
+			x[i] = byte(rr.Uint64())
+		}
+		got := m.MulVec(x)
+		// Compare against m · column-matrix(x).
+		xm := NewMatrix(cols, 1)
+		for i, v := range x {
+			xm.Set(i, 0, v)
+		}
+		want := Mul(m, xm)
+		for i := range got {
+			if got[i] != want.Get(i, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: nil}); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestGF256Solve(t *testing.T) {
+	r := rng.New(19)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(16)
+		m := randomMatrix(r, n, n)
+		if !m.Invertible() {
+			continue
+		}
+		x := make([]byte, n)
+		for i := range x {
+			x[i] = byte(r.Uint64())
+		}
+		b := m.MulVec(x)
+		got, err := m.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if got[i] != x[i] {
+				t.Fatalf("Solve mismatch at %d: got %d want %d", i, got[i], x[i])
+			}
+		}
+	}
+}
+
+func TestGF256SolveErrors(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if _, err := m.Solve([]byte{1, 2}); err == nil {
+		t.Fatal("non-square Solve did not error")
+	}
+	sq := NewMatrix(2, 2)
+	if _, err := sq.Solve([]byte{1}); err == nil {
+		t.Fatal("mismatched rhs Solve did not error")
+	}
+	if _, err := sq.Solve([]byte{1, 2}); err == nil {
+		t.Fatal("singular Solve did not error")
+	}
+}
+
+func TestGF256RankScaleInvariant(t *testing.T) {
+	r := rng.New(23)
+	m := randomMatrix(r, 8, 8)
+	rk := m.Rank()
+	scaled := m.Clone()
+	gf256.ScaleSlice(scaled.Row(3), 77)
+	if scaled.Rank() != rk {
+		t.Fatalf("scaling a row by a nonzero constant changed rank: %d -> %d", rk, scaled.Rank())
+	}
+}
+
+func BenchmarkBitRank64(b *testing.B) {
+	r := rng.New(1)
+	m := randomBitMatrix(r, 64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.Rank()
+	}
+}
+
+func BenchmarkGF256Inverse32(b *testing.B) {
+	r := rng.New(1)
+	m := randomMatrix(r, 32, 32)
+	for !m.Invertible() {
+		m = randomMatrix(r, 32, 32)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Inverse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

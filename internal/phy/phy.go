@@ -1,0 +1,284 @@
+// Package phy is a symbol-level model of the additive physical layer the
+// paper's Section 2 describes: packets are modulated to complex symbols,
+// simultaneous transmissions add, and the receiver sees the sum plus
+// noise.  It implements successive interference cancellation and a
+// simplified ZigZag decoder (Gollakota & Katabi, SIGCOMM 2008) — the
+// systems the paper cites as evidence that modern radios can extract
+// useful information from collisions.
+//
+// This package grounds the abstract Coded Radio Network Model: the
+// decodability rule "j packets need j good slots" corresponds here to the
+// fact that two collisions with different symbol offsets contain enough
+// equations to recover both packets.
+package phy
+
+import (
+	"errors"
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/rng"
+)
+
+// Signal is a sequence of complex baseband symbols.
+type Signal []complex128
+
+// ModulateBPSK maps bits (0/1 bytes) to BPSK symbols: 1 → +1, 0 → −1.
+func ModulateBPSK(bits []byte) Signal {
+	s := make(Signal, len(bits))
+	for i, b := range bits {
+		if b != 0 {
+			s[i] = 1
+		} else {
+			s[i] = -1
+		}
+	}
+	return s
+}
+
+// DemodulateBPSK recovers bits from a signal transmitted with the given
+// complex gain (attenuation and phase): it derotates by the gain and
+// slices on the real axis.
+func DemodulateBPSK(sig Signal, gain complex128) []byte {
+	bits := make([]byte, len(sig))
+	for i, v := range sig {
+		if real(v*cmplx.Conj(gain)) >= 0 {
+			bits[i] = 1
+		}
+	}
+	return bits
+}
+
+// Tx describes one transmission: a bit string, the channel gain the
+// receiver observes for this sender, and the symbol offset at which the
+// transmission begins.
+type Tx struct {
+	Bits   []byte
+	Gain   complex128
+	Offset int
+}
+
+func (t Tx) end() int { return t.Offset + len(t.Bits) }
+
+// Superpose returns the received signal when all transmissions are on the
+// air simultaneously: the element-wise sum of the modulated, shifted,
+// scaled signals.  The returned signal is long enough to contain every
+// transmission.
+func Superpose(txs []Tx) Signal {
+	length := 0
+	for _, tx := range txs {
+		if tx.Offset < 0 {
+			panic("phy: negative transmission offset")
+		}
+		if tx.end() > length {
+			length = tx.end()
+		}
+	}
+	y := make(Signal, length)
+	for _, tx := range txs {
+		mod := ModulateBPSK(tx.Bits)
+		for i, sym := range mod {
+			y[tx.Offset+i] += tx.Gain * sym
+		}
+	}
+	return y
+}
+
+// AddNoise adds circularly symmetric complex Gaussian noise with standard
+// deviation sigma per real dimension to the signal in place.
+func AddNoise(sig Signal, sigma float64, r *rng.Rand) {
+	if sigma <= 0 {
+		return
+	}
+	for i := range sig {
+		sig[i] += complex(sigma*r.NormFloat64(), sigma*r.NormFloat64())
+	}
+}
+
+// cancel subtracts a known transmission (bits, gain, offset) from y.
+func cancel(y Signal, bits []byte, gain complex128, offset int) {
+	mod := ModulateBPSK(bits)
+	for i, sym := range mod {
+		if idx := offset + i; idx >= 0 && idx < len(y) {
+			y[idx] -= gain * sym
+		}
+	}
+}
+
+// SuccessiveCancel decodes the transmissions in y one at a time in
+// decreasing gain-magnitude order, subtracting each decoded signal before
+// decoding the next (classic successive interference cancellation).  The
+// lengths, gains, and offsets of the transmissions must be known; the
+// bits are unknown and are returned in the order of the input slice.
+//
+// SIC only works when the gains are sufficiently separated; with equal
+// gains the first decode sees interference as strong as the signal and
+// bit errors cascade.  That failure mode is exactly why ZigZag-style
+// decoding across two collisions is interesting; see ZigZagDecode.
+func SuccessiveCancel(y Signal, txs []Tx) [][]byte {
+	work := make(Signal, len(y))
+	copy(work, y)
+	order := make([]int, len(txs))
+	for i := range order {
+		order[i] = i
+	}
+	// Sort by descending |gain| (insertion sort; the slice is tiny).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && cmplx.Abs(txs[order[j]].Gain) > cmplx.Abs(txs[order[j-1]].Gain); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	decoded := make([][]byte, len(txs))
+	for _, idx := range order {
+		tx := txs[idx]
+		segment := make(Signal, len(tx.Bits))
+		copy(segment, work[tx.Offset:tx.end()])
+		bits := DemodulateBPSK(segment, tx.Gain)
+		decoded[idx] = bits
+		cancel(work, bits, tx.Gain, tx.Offset)
+	}
+	return decoded
+}
+
+// Collision is one received collision of two packets (a and b) with known
+// gains and a known offset of b relative to a (a starts at symbol 0).
+type Collision struct {
+	Y       Signal
+	GainA   complex128
+	GainB   complex128
+	OffsetB int
+}
+
+// NewCollision synthesizes a collision of bitsA and bitsB where b starts
+// offsetB symbols after a, with the given gains and noise level.
+func NewCollision(bitsA, bitsB []byte, gainA, gainB complex128, offsetB int, sigma float64, r *rng.Rand) Collision {
+	y := Superpose([]Tx{
+		{Bits: bitsA, Gain: gainA, Offset: 0},
+		{Bits: bitsB, Gain: gainB, Offset: offsetB},
+	})
+	AddNoise(y, sigma, r)
+	return Collision{Y: y, GainA: gainA, GainB: gainB, OffsetB: offsetB}
+}
+
+// ZigZagDecode recovers both packets from two collisions of the same pair
+// of packets with different offsets, using the ZigZag algorithm: the
+// interference-free prefix of one collision bootstraps an alternating
+// decode-and-subtract chain across the two collisions.
+//
+// lenA and lenB are the packet lengths in symbols.  The two collisions
+// must have different offsets; otherwise the chain cannot start and an
+// error is returned (this is why ZigZag retransmissions use random
+// jitter).
+func ZigZagDecode(c1, c2 Collision, lenA, lenB int) (bitsA, bitsB []byte, err error) {
+	if c1.OffsetB == c2.OffsetB {
+		return nil, nil, errors.New("phy: zigzag needs distinct collision offsets")
+	}
+	if c1.OffsetB < 0 || c2.OffsetB < 0 {
+		return nil, nil, errors.New("phy: negative collision offset")
+	}
+	if len(c1.Y) < lenA || len(c2.Y) < lenA {
+		return nil, nil, fmt.Errorf("phy: collision shorter than packet A")
+	}
+	bitsA = make([]byte, lenA)
+	bitsB = make([]byte, lenB)
+	knownA, knownB := 0, 0 // decoded prefix lengths
+
+	// decodeA extends the known prefix of A using collision c: symbol t of
+	// A is recoverable when B's overlapping symbol (t - offset) is either
+	// absent (t < offset or beyond B) or already known.
+	decodeA := func(c Collision) bool {
+		progress := false
+		for t := knownA; t < lenA; t++ {
+			bIdx := t - c.OffsetB
+			sample := c.Y[t]
+			if bIdx >= 0 && bIdx < lenB {
+				if bIdx >= knownB {
+					break // interference not yet known
+				}
+				sample -= c.GainB * bpsk(bitsB[bIdx])
+			}
+			if real(sample*cmplx.Conj(c.GainA)) >= 0 {
+				bitsA[t] = 1
+			} else {
+				bitsA[t] = 0
+			}
+			knownA = t + 1
+			progress = true
+		}
+		return progress
+	}
+	decodeB := func(c Collision) bool {
+		progress := false
+		for t := knownB; t < lenB; t++ {
+			aIdx := t + c.OffsetB
+			if aIdx >= len(c.Y) {
+				break
+			}
+			sample := c.Y[aIdx]
+			if aIdx < lenA {
+				if aIdx >= knownA {
+					break
+				}
+				sample -= c.GainA * bpsk(bitsA[aIdx])
+			}
+			if real(sample*cmplx.Conj(c.GainB)) >= 0 {
+				bitsB[t] = 1
+			} else {
+				bitsB[t] = 0
+			}
+			knownB = t + 1
+			progress = true
+		}
+		return progress
+	}
+
+	for knownA < lenA || knownB < lenB {
+		p := decodeA(c1)
+		p = decodeA(c2) || p
+		p = decodeB(c1) || p
+		p = decodeB(c2) || p
+		if !p {
+			return nil, nil, errors.New("phy: zigzag chain stalled")
+		}
+	}
+	return bitsA, bitsB, nil
+}
+
+func bpsk(bit byte) complex128 {
+	if bit != 0 {
+		return 1
+	}
+	return -1
+}
+
+// BitErrors counts positions where a and b differ.  The slices must have
+// equal length.
+func BitErrors(a, b []byte) int {
+	if len(a) != len(b) {
+		panic("phy: BitErrors length mismatch")
+	}
+	n := 0
+	for i := range a {
+		if (a[i] != 0) != (b[i] != 0) {
+			n++
+		}
+	}
+	return n
+}
+
+// BitErrorRate returns the fraction of differing positions.
+func BitErrorRate(a, b []byte) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	return float64(BitErrors(a, b)) / float64(len(a))
+}
+
+// RandomBits returns n uniformly random bits as 0/1 bytes.
+func RandomBits(n int, r *rng.Rand) []byte {
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = byte(r.Uint64() & 1)
+	}
+	return bits
+}

@@ -1,0 +1,214 @@
+package phy
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestModulateDemodulateRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	bits := RandomBits(256, r)
+	sig := ModulateBPSK(bits)
+	got := DemodulateBPSK(sig, 1)
+	if BitErrors(bits, got) != 0 {
+		t.Fatal("noiseless BPSK round trip has errors")
+	}
+}
+
+func TestDemodulateWithPhaseRotation(t *testing.T) {
+	r := rng.New(2)
+	bits := RandomBits(128, r)
+	sig := ModulateBPSK(bits)
+	gain := complex(0.3, 0.7) // attenuation + phase shift
+	for i := range sig {
+		sig[i] *= gain
+	}
+	got := DemodulateBPSK(sig, gain)
+	if BitErrors(bits, got) != 0 {
+		t.Fatal("phase-rotated BPSK round trip has errors")
+	}
+}
+
+func TestDemodulateLowNoise(t *testing.T) {
+	r := rng.New(3)
+	bits := RandomBits(10000, r)
+	sig := ModulateBPSK(bits)
+	AddNoise(sig, 0.2, r) // SNR ~14 dB: essentially error-free
+	got := DemodulateBPSK(sig, 1)
+	if ber := BitErrorRate(bits, got); ber > 0.001 {
+		t.Fatalf("BER %v at high SNR", ber)
+	}
+}
+
+func TestSuperposeAdditive(t *testing.T) {
+	a := []byte{1, 0, 1}
+	b := []byte{0, 0, 1}
+	y := Superpose([]Tx{{Bits: a, Gain: 1, Offset: 0}, {Bits: b, Gain: 1, Offset: 0}})
+	// Symbol sums: (+1)+(-1)=0, (-1)+(-1)=-2, (+1)+(+1)=+2.
+	want := Signal{0, -2, 2}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("superposition[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestSuperposeOffsets(t *testing.T) {
+	a := []byte{1, 1}
+	b := []byte{1}
+	y := Superpose([]Tx{{Bits: a, Gain: 1, Offset: 0}, {Bits: b, Gain: 1, Offset: 3}})
+	if len(y) != 4 {
+		t.Fatalf("superposition length %d, want 4", len(y))
+	}
+	if y[2] != 0 {
+		t.Fatalf("gap symbol not silent: %v", y[2])
+	}
+	if y[3] != 1 {
+		t.Fatalf("offset symbol = %v, want 1", y[3])
+	}
+}
+
+func TestSuccessiveCancelPowerDisparity(t *testing.T) {
+	r := rng.New(5)
+	bitsA := RandomBits(500, r)
+	bitsB := RandomBits(500, r)
+	// Strong A, weak B: SIC decodes A first, subtracts, then decodes B.
+	y := Superpose([]Tx{
+		{Bits: bitsA, Gain: 2.0, Offset: 0},
+		{Bits: bitsB, Gain: 0.5, Offset: 0},
+	})
+	AddNoise(y, 0.05, r)
+	decoded := SuccessiveCancel(y, []Tx{
+		{Bits: make([]byte, 500), Gain: 2.0, Offset: 0},
+		{Bits: make([]byte, 500), Gain: 0.5, Offset: 0},
+	})
+	if ber := BitErrorRate(bitsA, decoded[0]); ber > 0.001 {
+		t.Fatalf("strong signal BER %v", ber)
+	}
+	if ber := BitErrorRate(bitsB, decoded[1]); ber > 0.001 {
+		t.Fatalf("weak signal BER after cancellation %v", ber)
+	}
+}
+
+func TestSuccessiveCancelEqualPowerFails(t *testing.T) {
+	// With equal gains and full overlap, SIC cannot separate the signals:
+	// this is the regime ZigZag targets.
+	r := rng.New(6)
+	bitsA := RandomBits(1000, r)
+	bitsB := RandomBits(1000, r)
+	y := Superpose([]Tx{
+		{Bits: bitsA, Gain: 1, Offset: 0},
+		{Bits: bitsB, Gain: 1, Offset: 0},
+	})
+	decoded := SuccessiveCancel(y, []Tx{
+		{Bits: make([]byte, 1000), Gain: 1, Offset: 0},
+		{Bits: make([]byte, 1000), Gain: 1, Offset: 0},
+	})
+	// Where the bits differ the sum is 0 and the decision is arbitrary, so
+	// roughly a quarter of the bits come out wrong.
+	if ber := BitErrorRate(bitsA, decoded[0]); ber < 0.1 {
+		t.Fatalf("equal-power SIC unexpectedly succeeded (BER %v)", ber)
+	}
+}
+
+func TestZigZagNoiseless(t *testing.T) {
+	r := rng.New(7)
+	for _, tc := range []struct{ lenA, lenB, off1, off2 int }{
+		{100, 100, 0, 7},
+		{100, 100, 3, 11},
+		{64, 80, 5, 2},
+		{80, 64, 1, 40},
+		{50, 50, 49, 10},
+	} {
+		bitsA := RandomBits(tc.lenA, r)
+		bitsB := RandomBits(tc.lenB, r)
+		c1 := NewCollision(bitsA, bitsB, 1, 1, tc.off1, 0, r)
+		c2 := NewCollision(bitsA, bitsB, 1, 1, tc.off2, 0, r)
+		gotA, gotB, err := ZigZagDecode(c1, c2, tc.lenA, tc.lenB)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if BitErrors(bitsA, gotA) != 0 || BitErrors(bitsB, gotB) != 0 {
+			t.Fatalf("%+v: zigzag decoded with errors (A=%d B=%d)",
+				tc, BitErrors(bitsA, gotA), BitErrors(bitsB, gotB))
+		}
+	}
+}
+
+func TestZigZagLowNoise(t *testing.T) {
+	r := rng.New(8)
+	const n = 400
+	bitsA := RandomBits(n, r)
+	bitsB := RandomBits(n, r)
+	c1 := NewCollision(bitsA, bitsB, 1, 1, 3, 0.1, r)
+	c2 := NewCollision(bitsA, bitsB, 1, 1, 17, 0.1, r)
+	gotA, gotB, err := ZigZagDecode(c1, c2, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ber := BitErrorRate(bitsA, gotA); ber > 0.01 {
+		t.Fatalf("zigzag A BER %v at high SNR", ber)
+	}
+	if ber := BitErrorRate(bitsB, gotB); ber > 0.01 {
+		t.Fatalf("zigzag B BER %v at high SNR", ber)
+	}
+}
+
+func TestZigZagSameOffsetFails(t *testing.T) {
+	r := rng.New(9)
+	bitsA := RandomBits(50, r)
+	bitsB := RandomBits(50, r)
+	c1 := NewCollision(bitsA, bitsB, 1, 1, 5, 0, r)
+	c2 := NewCollision(bitsA, bitsB, 1, 1, 5, 0, r)
+	if _, _, err := ZigZagDecode(c1, c2, 50, 50); err == nil {
+		t.Fatal("identical offsets should fail")
+	}
+}
+
+func TestZigZagDifferentGains(t *testing.T) {
+	r := rng.New(10)
+	const n = 200
+	bitsA := RandomBits(n, r)
+	bitsB := RandomBits(n, r)
+	gA, gB := complex(0.8, 0.4), complex(-0.3, 0.9)
+	c1 := NewCollision(bitsA, bitsB, gA, gB, 2, 0.05, r)
+	c2 := NewCollision(bitsA, bitsB, gA, gB, 29, 0.05, r)
+	gotA, gotB, err := ZigZagDecode(c1, c2, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if BitErrors(bitsA, gotA) != 0 || BitErrors(bitsB, gotB) != 0 {
+		t.Fatal("zigzag with complex gains decoded with errors")
+	}
+}
+
+func TestBitErrorsPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BitErrors length mismatch did not panic")
+		}
+	}()
+	BitErrors([]byte{1}, []byte{1, 0})
+}
+
+func TestBitErrorRateEmpty(t *testing.T) {
+	if BitErrorRate(nil, nil) != 0 {
+		t.Fatal("empty BER not zero")
+	}
+}
+
+func BenchmarkZigZag1K(b *testing.B) {
+	r := rng.New(1)
+	const n = 1024
+	bitsA := RandomBits(n, r)
+	bitsB := RandomBits(n, r)
+	c1 := NewCollision(bitsA, bitsB, 1, 1, 3, 0.05, r)
+	c2 := NewCollision(bitsA, bitsB, 1, 1, 200, 0.05, r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ZigZagDecode(c1, c2, n, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package potential
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySystemZeroPotential(t *testing.T) {
+	c := Compute(64, 0, 0, 0, 1)
+	if c.Total() != 0 {
+		t.Fatalf("empty system potential %v", c.Total())
+	}
+}
+
+func TestPotentialUpperBoundsPackets(t *testing.T) {
+	// Φ(t) >= N_t always (all terms non-negative).
+	f := func(n, m uint16, cRaw, pRaw uint16) bool {
+		kappa := 64
+		c := float64(cRaw) / 100
+		pMin := math.Max(1e-9, float64(pRaw)/65535)
+		comp := Compute(kappa, int(n), int(m), c, pMin)
+		if comp.LogC < 0 || comp.S < 0 || comp.U < 0 {
+			return false
+		}
+		return comp.Total() >= float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogCBelowTarget(t *testing.T) {
+	// Contention below c* contributes zero.
+	for _, c := range []float64{0, 1, 7.9} {
+		comp := Compute(64, 10, 0, c, 1) // c* = 8
+		if comp.LogC != 0 {
+			t.Fatalf("LogC(%v) = %v, want 0", c, comp.LogC)
+		}
+	}
+}
+
+func TestLogCAboveTarget(t *testing.T) {
+	// At c = κ (contention = kappa), log_κ(κ/√κ) = 1/2, so LogC = 2κ.
+	comp := Compute(64, 0, 0, 64, 1)
+	if math.Abs(comp.LogC-128) > 1e-9 {
+		t.Fatalf("LogC at c=κ: %v, want 128", comp.LogC)
+	}
+}
+
+func TestSTermSteps(t *testing.T) {
+	// p_min = κ^(-1/2) gives S = 4·log_κ(κ^(1/2)) = 2.
+	comp := Compute(64, 0, 0, 0, 1/math.Sqrt(64))
+	if math.Abs(comp.S-2) > 1e-9 {
+		t.Fatalf("S at p=κ^-1/2: %v, want 2", comp.S)
+	}
+	// Each overfull epoch divides p_min by κ^(1/4): S increases by 1.
+	comp2 := Compute(64, 0, 0, 0, 1/math.Sqrt(64)/math.Pow(64, 0.25))
+	if math.Abs(comp2.S-3) > 1e-9 {
+		t.Fatalf("S after one overfull: %v, want 3", comp2.S)
+	}
+}
+
+func TestSTermPminOne(t *testing.T) {
+	comp := Compute(64, 5, 0, 1, 1)
+	if comp.S != 0 {
+		t.Fatalf("S with pmin=1: %v", comp.S)
+	}
+}
+
+func TestUTerm(t *testing.T) {
+	comp := Compute(64, 10, 10, 0, 1)
+	want := 5 * 10 / math.Log(64)
+	if math.Abs(comp.U-want) > 1e-9 {
+		t.Fatalf("U = %v, want %v", comp.U, want)
+	}
+}
+
+func TestArrivalIncreaseMatchesComponents(t *testing.T) {
+	// One inactive arrival raises N by 1 and U by 5/ln κ: exactly
+	// ArrivalIncrease (Lemma 5).
+	kappa := 256
+	before := Compute(kappa, 10, 3, 5, 0.25)
+	after := Compute(kappa, 11, 4, 5, 0.25)
+	if got, want := after.Total()-before.Total(), ArrivalIncrease(kappa); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("arrival increase %v, want %v", got, want)
+	}
+}
+
+func TestSilentEpochLogCIncrease(t *testing.T) {
+	// Lemma 8: a silent error epoch multiplies contention by κ^(1/4),
+	// raising LogC by exactly κ (when already above target).
+	kappa := 64
+	c0 := 3 * math.Sqrt(float64(kappa)) // above target
+	before := Compute(kappa, 0, 0, c0, 1)
+	after := Compute(kappa, 0, 0, c0*math.Pow(float64(kappa), 0.25), 1)
+	if got := after.LogC - before.LogC; math.Abs(got-float64(kappa)) > 1e-9 {
+		t.Fatalf("silent epoch LogC increase %v, want %v", got, float64(kappa))
+	}
+}
+
+func TestOverfullEpochLogCDecrease(t *testing.T) {
+	// An overfull epoch divides contention by κ^(1/4): LogC falls by κ
+	// (while still above target).
+	kappa := 64
+	c0 := 10 * math.Sqrt(float64(kappa))
+	before := Compute(kappa, 0, 0, c0, 1)
+	after := Compute(kappa, 0, 0, c0/math.Pow(float64(kappa), 0.25), 1)
+	if got := before.LogC - after.LogC; math.Abs(got-float64(kappa)) > 1e-9 {
+		t.Fatalf("overfull epoch LogC decrease %v, want %v", got, float64(kappa))
+	}
+}
+
+func TestTheoremRate(t *testing.T) {
+	if TheoremRate(148) > 0 {
+		t.Fatal("rate should be vacuous at κ=148")
+	}
+	if r := TheoremRate(1024); r <= 0 || r >= 1 {
+		t.Fatalf("rate at κ=1024: %v", r)
+	}
+	// Monotone increasing in κ.
+	if TheoremRate(4096) <= TheoremRate(1024) {
+		t.Fatal("rate not increasing in κ")
+	}
+}
+
+func TestTheoremMinWindow(t *testing.T) {
+	if TheoremMinWindow(64) != 16*64*64 {
+		t.Fatalf("min window %d", TheoremMinWindow(64))
+	}
+}
+
+func TestEpochDeltas(t *testing.T) {
+	if got := NonErrorEpochDecrease(64, 64); math.Abs(got-63) > 1e-9 {
+		t.Fatalf("non-error decrease %v", got)
+	}
+	if got := ErrorEpochIncrease(64); got != 66 {
+		t.Fatalf("error increase %v", got)
+	}
+}

@@ -1,0 +1,108 @@
+// Package protocol defines the agent-side interface of the Coded Radio
+// Network Model: what a contention-resolution protocol may observe and
+// do.  Per the model, devices hear exactly two signals — silent slots and
+// decoding events — and decide each slot whether their packet broadcasts.
+package protocol
+
+import "repro/internal/channel"
+
+// Protocol is a contention-resolution protocol driving the packets
+// currently in the system.  The simulation engine calls, per slot:
+//
+//  1. Inject for any newly arrived packets,
+//  2. Transmitters to collect this slot's broadcasts,
+//  3. Observe with the slot's feedback (silence / decoding event).
+//
+// Implementations own all per-packet state.  Packets delivered by a
+// decoding event must leave the system (stop transmitting, not be
+// counted by Pending).
+type Protocol interface {
+	// Name identifies the protocol in reports.
+	Name() string
+
+	// Inject adds newly arrived packets.  Arrivals at slot `now` hear
+	// slot now's feedback but must not transmit before slot now+1.
+	Inject(now int64, ids []channel.PacketID)
+
+	// Transmitters appends the IDs broadcasting in slot `now` to buf and
+	// returns it.  The engine passes buf with length 0 and reuses it
+	// across slots; implementations must not retain it.
+	Transmitters(now int64, buf []channel.PacketID) []channel.PacketID
+
+	// Observe delivers the end-of-slot feedback: whether the slot was
+	// silent and any decoding event.  Delivered packets leave the system.
+	Observe(fb channel.Feedback)
+
+	// Pending returns the number of packets still in the system.
+	Pending() int
+}
+
+// Waker is an optional interface a protocol can implement to let the
+// engine skip slots: NextWake returns the next slot at or after `now` at
+// which the protocol may transmit or its state may change.  The engine
+// only skips slots when the channel is guaranteed silent in between
+// (no packets pending), so most protocols need not implement it.
+type Waker interface {
+	NextWake(now int64) int64
+}
+
+// EpochKind classifies Decodable Backoff epochs; exported here so the
+// measurement harness can consume epoch statistics without importing the
+// core package's internals.
+type EpochKind uint8
+
+const (
+	// EpochSilent ends after one silent slot: no packet joined.
+	EpochSilent EpochKind = iota
+	// EpochSuccessful ends with a decoding event delivering the joiners.
+	EpochSuccessful
+	// EpochOverfull ends after kappa slots without a decoding event.
+	EpochOverfull
+)
+
+// String returns the kind name.
+func (k EpochKind) String() string {
+	switch k {
+	case EpochSilent:
+		return "silent"
+	case EpochSuccessful:
+		return "successful"
+	case EpochOverfull:
+		return "overfull"
+	}
+	return "unknown"
+}
+
+// EpochInfo describes one completed epoch of an epoch-structured
+// protocol, as reported to probes.
+type EpochInfo struct {
+	Kind    EpochKind
+	Start   int64 // first slot of the epoch
+	Length  int64 // number of slots
+	Joiners int   // packets that joined the epoch
+	// Contention is the sum of joining probabilities over active packets
+	// at the start of the epoch.
+	Contention float64
+	// PMin is the minimum joining probability among active packets at
+	// the start of the epoch (1 if none).
+	PMin float64
+	// Active and Inactive are the population counts at the start of the
+	// epoch.
+	Active, Inactive int
+	// Error reports whether this was an error epoch in the paper's sense
+	// (Definition 2): silent with contention >= kappa^(1/4), or overfull
+	// with contention <= kappa^(3/4).
+	Error bool
+}
+
+// EpochObserver receives a callback after every completed epoch.
+// The Decodable Backoff implementation accepts one for instrumentation.
+type EpochObserver interface {
+	ObserveEpoch(info EpochInfo)
+}
+
+// EpochObserverFunc adapts a function to the EpochObserver interface.
+type EpochObserverFunc func(info EpochInfo)
+
+// ObserveEpoch calls f(info).
+func (f EpochObserverFunc) ObserveEpoch(info EpochInfo) { f(info) }

@@ -1,0 +1,26 @@
+package protocol
+
+import "testing"
+
+func TestEpochKindString(t *testing.T) {
+	cases := map[EpochKind]string{
+		EpochSilent:     "silent",
+		EpochSuccessful: "successful",
+		EpochOverfull:   "overfull",
+		EpochKind(99):   "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Fatalf("EpochKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestEpochObserverFunc(t *testing.T) {
+	var got EpochInfo
+	f := EpochObserverFunc(func(info EpochInfo) { got = info })
+	f.ObserveEpoch(EpochInfo{Kind: EpochOverfull, Joiners: 7})
+	if got.Kind != EpochOverfull || got.Joiners != 7 {
+		t.Fatalf("observer func did not forward: %+v", got)
+	}
+}

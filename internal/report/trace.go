@@ -1,0 +1,35 @@
+package report
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SeriesCSV renders a time series as two-column CSV with the given
+// header names.  The slices must have equal length.
+func SeriesCSV(tName, vName string, t []int64, v []float64) string {
+	if len(t) != len(v) {
+		panic("report: series length mismatch")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s,%s\n", tName, vName)
+	for i := range t {
+		fmt.Fprintf(&b, "%d,%g\n", t[i], v[i])
+	}
+	return b.String()
+}
+
+// SaveSeriesCSV writes a series to path, creating parent directories.
+func SaveSeriesCSV(path, tName, vName string, t []int64, v []float64) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+	}
+	if err := os.WriteFile(path, []byte(SeriesCSV(tName, vName, t, v)), 0o644); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+// Package rlnc implements random linear network coding over GF(2^8),
+// the mechanism the paper's "Practicalities" section sketches for
+// realizing the Coded Radio Network Model at the physical layer.
+//
+// Each source packet is a byte payload.  When a set of packets broadcast
+// in a slot, the channel is additive: the base station receives a linear
+// combination of the payloads, with one coefficient per transmitter.
+// Over a decoding window, the received combinations form a linear system
+// whose unknowns are the payloads; decoding succeeds exactly when the
+// coefficient matrix reaches full rank — giving the model's rule that
+// decoding j packets needs at least j good slots.
+//
+// The Decoder is progressive: coded slots are fed in as they arrive and
+// eliminated online, so the cost of a decoding window is one Gaussian
+// elimination spread across its slots.
+package rlnc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gf256"
+	"repro/internal/rng"
+)
+
+// Symbol is one received coded slot: the coefficient of every source
+// packet in the combination plus the combined payload.
+type Symbol struct {
+	// Coeffs[i] is the GF(2^8) coefficient of source packet i.  Packets
+	// that did not transmit in the slot have coefficient 0.
+	Coeffs []byte
+	// Payload is the element-wise combination of the transmitting
+	// packets' payloads under Coeffs.
+	Payload []byte
+}
+
+// Clone returns a deep copy of the symbol.
+func (s Symbol) Clone() Symbol {
+	c := Symbol{Coeffs: make([]byte, len(s.Coeffs)), Payload: make([]byte, len(s.Payload))}
+	copy(c.Coeffs, s.Coeffs)
+	copy(c.Payload, s.Payload)
+	return c
+}
+
+// Encoder combines source packets into coded slots.
+type Encoder struct {
+	payloads    [][]byte
+	payloadSize int
+}
+
+// NewEncoder returns an encoder over the given source packets.  All
+// payloads must be non-empty and the same length.
+func NewEncoder(payloads [][]byte) (*Encoder, error) {
+	if len(payloads) == 0 {
+		return nil, errors.New("rlnc: no source packets")
+	}
+	size := len(payloads[0])
+	if size == 0 {
+		return nil, errors.New("rlnc: empty payload")
+	}
+	for i, p := range payloads {
+		if len(p) != size {
+			return nil, fmt.Errorf("rlnc: payload %d has length %d, want %d", i, len(p), size)
+		}
+	}
+	return &Encoder{payloads: payloads, payloadSize: size}, nil
+}
+
+// NumPackets returns the number of source packets.
+func (e *Encoder) NumPackets() int { return len(e.payloads) }
+
+// PayloadSize returns the common payload length in bytes.
+func (e *Encoder) PayloadSize() int { return e.payloadSize }
+
+// Slot simulates one slot in which the packets with the listed indices
+// broadcast.  Each transmitter's contribution is scaled by a fresh random
+// nonzero coefficient (random linear coding), and the base station
+// receives the sum.  The returned symbol has one coefficient per source
+// packet (zero for silent packets).
+func (e *Encoder) Slot(transmitters []int, r *rng.Rand) (Symbol, error) {
+	s := Symbol{
+		Coeffs:  make([]byte, len(e.payloads)),
+		Payload: make([]byte, e.payloadSize),
+	}
+	for _, idx := range transmitters {
+		if idx < 0 || idx >= len(e.payloads) {
+			return Symbol{}, fmt.Errorf("rlnc: transmitter index %d out of range [0,%d)", idx, len(e.payloads))
+		}
+		if s.Coeffs[idx] != 0 {
+			return Symbol{}, fmt.Errorf("rlnc: duplicate transmitter %d", idx)
+		}
+		c := byte(1 + r.Intn(255)) // nonzero random coefficient
+		s.Coeffs[idx] = c
+		gf256.MulSlice(s.Payload, e.payloads[idx], c)
+	}
+	return s, nil
+}
+
+// PlainSlot simulates a slot without random coefficients: every
+// transmitter contributes with coefficient 1 (pure superposition, the
+// "unique column vectors" variant discussed in the paper).
+func (e *Encoder) PlainSlot(transmitters []int) (Symbol, error) {
+	s := Symbol{
+		Coeffs:  make([]byte, len(e.payloads)),
+		Payload: make([]byte, e.payloadSize),
+	}
+	for _, idx := range transmitters {
+		if idx < 0 || idx >= len(e.payloads) {
+			return Symbol{}, fmt.Errorf("rlnc: transmitter index %d out of range [0,%d)", idx, len(e.payloads))
+		}
+		if s.Coeffs[idx] != 0 {
+			return Symbol{}, fmt.Errorf("rlnc: duplicate transmitter %d", idx)
+		}
+		s.Coeffs[idx] = 1
+		gf256.MulSlice(s.Payload, e.payloads[idx], 1)
+	}
+	return s, nil
+}
+
+// Decoder performs progressive Gaussian elimination over received
+// symbols.  Feed symbols with Add; Decoded reports which source packets
+// have been recovered so far.
+type Decoder struct {
+	n           int // number of source packets
+	payloadSize int
+	rows        []Symbol // reduced rows, rows[i] has pivot at column pivot[i]
+	pivotOf     []int    // pivotOf[col] = row index with pivot at col, or -1
+	rank        int
+	recovered   [][]byte // recovered[i] non-nil once packet i is decoded
+}
+
+// NewDecoder returns a decoder for n source packets of the given payload
+// size.
+func NewDecoder(n, payloadSize int) *Decoder {
+	if n <= 0 || payloadSize <= 0 {
+		panic("rlnc: NewDecoder needs positive packet count and payload size")
+	}
+	p := make([]int, n)
+	for i := range p {
+		p[i] = -1
+	}
+	return &Decoder{n: n, payloadSize: payloadSize, pivotOf: p, recovered: make([][]byte, n)}
+}
+
+// Rank returns the current rank of the received system.
+func (d *Decoder) Rank() int { return d.rank }
+
+// Add feeds one received symbol into the decoder.  It returns true if the
+// symbol was innovative (increased the rank).  Non-innovative symbols are
+// discarded.  Add panics if the symbol's shape does not match the decoder.
+//
+// Invariant maintained across calls: every stored row is zero in every
+// pivot column except its own, so once rank reaches n all rows are unit
+// vectors and every packet is recovered.
+func (d *Decoder) Add(s Symbol) bool {
+	if len(s.Coeffs) != d.n || len(s.Payload) != d.payloadSize {
+		panic("rlnc: symbol shape mismatch")
+	}
+	row := s.Clone()
+	// Eliminate every existing pivot column from the incoming row.  One
+	// ascending pass suffices: pivot rows are themselves zero in all other
+	// pivot columns, so eliminating column c never reintroduces a pivot
+	// column that was already cleared.
+	pivotCol := -1
+	for col := 0; col < d.n; col++ {
+		c := row.Coeffs[col]
+		if c == 0 {
+			continue
+		}
+		if ri := d.pivotOf[col]; ri >= 0 {
+			pr := d.rows[ri]
+			gf256.MulSlice(row.Coeffs, pr.Coeffs, c)
+			gf256.MulSlice(row.Payload, pr.Payload, c)
+			continue
+		}
+		if pivotCol < 0 {
+			pivotCol = col
+		}
+	}
+	if pivotCol < 0 {
+		return false // linearly dependent on what we already have
+	}
+	inv := gf256.Inv(row.Coeffs[pivotCol])
+	gf256.ScaleSlice(row.Coeffs, inv)
+	gf256.ScaleSlice(row.Payload, inv)
+	d.pivotOf[pivotCol] = len(d.rows)
+	d.rows = append(d.rows, row)
+	d.rank++
+	d.backSubstitute(pivotCol)
+	d.extract()
+	return true
+}
+
+// backSubstitute eliminates the new pivot column from all earlier rows.
+func (d *Decoder) backSubstitute(col int) {
+	newRow := d.rows[d.pivotOf[col]]
+	for _, ri := range d.pivotOf {
+		if ri < 0 {
+			continue
+		}
+		r := d.rows[ri]
+		if &r.Coeffs[0] == &newRow.Coeffs[0] {
+			continue
+		}
+		if c := r.Coeffs[col]; c != 0 {
+			gf256.MulSlice(r.Coeffs, newRow.Coeffs, c)
+			gf256.MulSlice(r.Payload, newRow.Payload, c)
+		}
+	}
+}
+
+// extract records any rows that have been fully reduced to a unit vector.
+func (d *Decoder) extract() {
+	for col, ri := range d.pivotOf {
+		if ri < 0 || d.recovered[col] != nil {
+			continue
+		}
+		r := d.rows[ri]
+		unit := true
+		for j, c := range r.Coeffs {
+			if (j == col && c != 1) || (j != col && c != 0) {
+				unit = false
+				break
+			}
+		}
+		if unit {
+			payload := make([]byte, d.payloadSize)
+			copy(payload, r.Payload)
+			d.recovered[col] = payload
+		}
+	}
+}
+
+// Complete reports whether all source packets have been recovered.
+func (d *Decoder) Complete() bool { return d.rank == d.n }
+
+// Decoded returns the recovered payload of packet i, or nil if it has not
+// been decoded yet.
+func (d *Decoder) Decoded(i int) []byte {
+	if i < 0 || i >= d.n {
+		panic("rlnc: Decoded index out of range")
+	}
+	return d.recovered[i]
+}
+
+// DecodedCount returns how many source packets have been recovered.
+func (d *Decoder) DecodedCount() int {
+	n := 0
+	for _, p := range d.recovered {
+		if p != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,273 @@
+package rlnc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func makePayloads(r *rng.Rand, n, size int) [][]byte {
+	ps := make([][]byte, n)
+	for i := range ps {
+		p := make([]byte, size)
+		for j := range p {
+			p[j] = byte(r.Uint64())
+		}
+		ps[i] = p
+	}
+	return ps
+}
+
+func TestEncoderValidation(t *testing.T) {
+	if _, err := NewEncoder(nil); err == nil {
+		t.Fatal("NewEncoder(nil) did not error")
+	}
+	if _, err := NewEncoder([][]byte{{}}); err == nil {
+		t.Fatal("empty payload did not error")
+	}
+	if _, err := NewEncoder([][]byte{{1, 2}, {3}}); err == nil {
+		t.Fatal("mismatched payload lengths did not error")
+	}
+	e, err := NewEncoder([][]byte{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumPackets() != 2 || e.PayloadSize() != 2 {
+		t.Fatalf("encoder shape (%d,%d)", e.NumPackets(), e.PayloadSize())
+	}
+}
+
+func TestSlotValidation(t *testing.T) {
+	r := rng.New(1)
+	e, _ := NewEncoder(makePayloads(r, 3, 4))
+	if _, err := e.Slot([]int{5}, r); err == nil {
+		t.Fatal("out-of-range transmitter did not error")
+	}
+	if _, err := e.Slot([]int{1, 1}, r); err == nil {
+		t.Fatal("duplicate transmitter did not error")
+	}
+	if _, err := e.PlainSlot([]int{0, 0}); err == nil {
+		t.Fatal("PlainSlot duplicate transmitter did not error")
+	}
+}
+
+// TestFullGroupDecode mirrors the paper's core scenario: the same group of
+// j <= kappa packets broadcasts together for j slots, and the base station
+// decodes all of them (a decoding event of size j).
+func TestFullGroupDecode(t *testing.T) {
+	r := rng.New(42)
+	for _, j := range []int{1, 2, 3, 8, 20} {
+		payloads := makePayloads(r, j, 32)
+		e, err := NewEncoder(payloads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := NewDecoder(j, 32)
+		group := make([]int, j)
+		for i := range group {
+			group[i] = i
+		}
+		slots := 0
+		for !d.Complete() {
+			s, err := e.Slot(group, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.Add(s)
+			slots++
+			if slots > j+10 {
+				t.Fatalf("j=%d: not decoded after %d slots", j, slots)
+			}
+		}
+		if slots < j {
+			t.Fatalf("j=%d decoded in %d < j slots (violates capacity)", j, slots)
+		}
+		for i, want := range payloads {
+			if got := d.Decoded(i); !bytes.Equal(got, want) {
+				t.Fatalf("j=%d packet %d decoded wrong", j, i)
+			}
+		}
+	}
+}
+
+// TestStaircaseDecode mirrors the paper's example: packets (a,b,c) all
+// broadcast in slot 1, (b,c) in slot 2, and c alone in slot 3.
+func TestStaircaseDecode(t *testing.T) {
+	r := rng.New(7)
+	payloads := makePayloads(r, 3, 16)
+	e, _ := NewEncoder(payloads)
+	d := NewDecoder(3, 16)
+	for _, txs := range [][]int{{0, 1, 2}, {1, 2}, {2}} {
+		s, err := e.Slot(txs, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Add(s) {
+			t.Fatalf("staircase slot %v was not innovative", txs)
+		}
+	}
+	if !d.Complete() {
+		t.Fatal("staircase not fully decoded after 3 slots")
+	}
+	for i, want := range payloads {
+		if !bytes.Equal(d.Decoded(i), want) {
+			t.Fatalf("packet %d decoded wrong", i)
+		}
+	}
+}
+
+// TestPlainSlotStaircase checks the coefficient-free variant: distinct
+// column vectors are linearly independent over GF(2^8) when they form a
+// staircase, so superposition alone suffices.
+func TestPlainSlotStaircase(t *testing.T) {
+	r := rng.New(9)
+	payloads := makePayloads(r, 3, 8)
+	e, _ := NewEncoder(payloads)
+	d := NewDecoder(3, 8)
+	for _, txs := range [][]int{{0, 1, 2}, {1, 2}, {2}} {
+		s, err := e.PlainSlot(txs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Add(s)
+	}
+	if !d.Complete() {
+		t.Fatal("plain staircase not decoded")
+	}
+	for i, want := range payloads {
+		if !bytes.Equal(d.Decoded(i), want) {
+			t.Fatalf("packet %d decoded wrong", i)
+		}
+	}
+}
+
+// TestPlainSlotRepeatNotInnovative: with coefficient 1 and the same group
+// every slot, the second slot is a duplicate equation — showing why the
+// random-coefficient variant is needed for repeated groups.
+func TestPlainSlotRepeatNotInnovative(t *testing.T) {
+	r := rng.New(11)
+	e, _ := NewEncoder(makePayloads(r, 2, 8))
+	d := NewDecoder(2, 8)
+	s1, _ := e.PlainSlot([]int{0, 1})
+	s2, _ := e.PlainSlot([]int{0, 1})
+	if !d.Add(s1) {
+		t.Fatal("first slot should be innovative")
+	}
+	if d.Add(s2) {
+		t.Fatal("identical plain slot should not be innovative")
+	}
+}
+
+func TestPartialRecovery(t *testing.T) {
+	r := rng.New(13)
+	payloads := makePayloads(r, 3, 8)
+	e, _ := NewEncoder(payloads)
+	d := NewDecoder(3, 8)
+	// Only packet 2 broadcasts: it alone should be recovered.
+	s, _ := e.Slot([]int{2}, r)
+	d.Add(s)
+	if d.Complete() {
+		t.Fatal("decoder claims completeness with rank 1")
+	}
+	if d.DecodedCount() != 1 {
+		t.Fatalf("DecodedCount = %d, want 1", d.DecodedCount())
+	}
+	if !bytes.Equal(d.Decoded(2), payloads[2]) {
+		t.Fatal("lone transmitter not recovered")
+	}
+	if d.Decoded(0) != nil || d.Decoded(1) != nil {
+		t.Fatal("silent packets spuriously recovered")
+	}
+}
+
+// TestRandomScheduleDecode: property test — any schedule whose cumulative
+// coefficient matrix reaches full rank decodes every payload correctly.
+func TestRandomScheduleDecode(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(10)
+		payloads := makePayloads(r, n, 12)
+		e, _ := NewEncoder(payloads)
+		d := NewDecoder(n, 12)
+		for slot := 0; slot < 6*n && !d.Complete(); slot++ {
+			var txs []int
+			for i := 0; i < n; i++ {
+				if r.Bernoulli(0.4) {
+					txs = append(txs, i)
+				}
+			}
+			s, err := e.Slot(txs, r)
+			if err != nil {
+				return false
+			}
+			d.Add(s)
+		}
+		if !d.Complete() {
+			// Exceedingly unlikely in 6n random slots; treat as failure.
+			return false
+		}
+		for i, want := range payloads {
+			if !bytes.Equal(d.Decoded(i), want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRankNeverExceedsSlots asserts the information-theoretic constraint
+// the model is built on: j packets need at least j slots.
+func TestRankNeverExceedsSlots(t *testing.T) {
+	r := rng.New(17)
+	e, _ := NewEncoder(makePayloads(r, 8, 4))
+	d := NewDecoder(8, 4)
+	for slot := 1; slot <= 20; slot++ {
+		txs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+		s, _ := e.Slot(txs, r)
+		d.Add(s)
+		if d.Rank() > slot {
+			t.Fatalf("rank %d after %d slots", d.Rank(), slot)
+		}
+	}
+}
+
+func TestDecoderPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero packets":   func() { NewDecoder(0, 8) },
+		"zero payload":   func() { NewDecoder(2, 0) },
+		"shape mismatch": func() { NewDecoder(2, 8).Add(Symbol{Coeffs: []byte{1}, Payload: make([]byte, 8)}) },
+		"decoded range":  func() { NewDecoder(2, 8).Decoded(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkDecodeGroup16(b *testing.B) {
+	r := rng.New(1)
+	payloads := makePayloads(r, 16, 256)
+	e, _ := NewEncoder(payloads)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(16, 256)
+		group := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+		for !d.Complete() {
+			s, err := e.Slot(group, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d.Add(s)
+		}
+	}
+}

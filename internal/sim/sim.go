@@ -1,0 +1,275 @@
+// Package sim is the discrete-round simulation engine: it wires an
+// arrival process, a contention-resolution protocol, and a Coded Radio
+// Network channel together, slot by slot, and collects the measurements
+// the experiments report (backlog, latency, throughput, slot classes).
+//
+// The engine fast-forwards through provably idle stretches (no pending
+// packets and no arrivals, or — for protocols that declare their next
+// wake-up — no transmissions), so batch-latency experiments over sparse
+// horizons cost time proportional to activity, not wall-clock slots.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arrival"
+	"repro/internal/channel"
+	"repro/internal/jam"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Config parametrizes one simulation run.
+type Config struct {
+	// Kappa is the channel's decoding threshold (≥ 1).
+	Kappa int
+	// MaxWindow caps decoding-window length; 0 selects the default 4κ
+	// (the paper shows O(κ) windows suffice).  Use NoWindowCap for an
+	// unbounded window.
+	MaxWindow int
+	// Horizon is the number of slots during which arrivals occur.
+	Horizon int64
+	// Drain keeps simulating after Horizon until the system empties (or
+	// DrainLimit extra slots pass), so completion metrics cover every
+	// injected packet.
+	Drain bool
+	// DrainLimit bounds the drain phase; 0 means max(16×Horizon, 2^20)
+	// extra slots — generous enough for batch experiments that use a
+	// 1-slot horizon, while still guaranteeing termination when a
+	// protocol is stuck.
+	DrainLimit int64
+	// Seed drives the arrival process randomness.  (Protocols hold their
+	// own rng, so one protocol's consumption cannot perturb arrivals.)
+	Seed uint64
+	// SeriesCap bounds the retained backlog time series (0 = 2048).
+	SeriesCap int
+	// TrackLatency records per-packet latencies (needed for quantiles).
+	// Costs O(total arrivals) memory.
+	TrackLatency bool
+	// Jammer optionally spoils slots with noise (failure injection; see
+	// package jam).  Jammed slots are audibly busy and decode-useless.
+	// Fast-forwarded idle stretches are not consulted for jamming (an
+	// empty system ignores noise), so jammer randomness stays aligned.
+	Jammer jam.Jammer
+}
+
+// NoWindowCap disables the decoding-window length cap.
+const NoWindowCap = -1
+
+func (c *Config) maxWindow() int {
+	switch {
+	case c.MaxWindow == NoWindowCap:
+		return 0
+	case c.MaxWindow == 0:
+		return 4 * c.Kappa
+	default:
+		return c.MaxWindow
+	}
+}
+
+// Result holds the measurements of one run.
+type Result struct {
+	Protocol string
+	Arrival  string
+	Kappa    int
+	Horizon  int64
+
+	Arrivals  int64
+	Delivered int64
+	Pending   int // backlog when the run ended
+
+	FirstArrival int64 // -1 if none
+	LastDelivery int64 // -1 if none
+	Elapsed      int64 // total slots simulated (including drain)
+
+	MaxBacklog    int
+	BacklogSeries *stats.Series
+
+	Latency   stats.Summary // per delivered packet, in slots
+	Latencies []float64     // raw latencies if Config.TrackLatency
+
+	Channel channel.Stats
+}
+
+// CompletionThroughput is delivered packets per slot over the span from
+// first arrival to last delivery — the batch throughput measure
+// (Theorem 16 asks completion time n(1+10/κ)+O(κ), i.e. throughput → 1).
+func (r *Result) CompletionThroughput() float64 {
+	if r.Delivered == 0 || r.LastDelivery < r.FirstArrival {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.LastDelivery-r.FirstArrival+1)
+}
+
+// LatencyQuantile returns the q-quantile of packet latency; it requires
+// Config.TrackLatency and at least one delivery.
+func (r *Result) LatencyQuantile(q float64) float64 {
+	if len(r.Latencies) == 0 {
+		return math.NaN()
+	}
+	return stats.Quantile(r.Latencies, q)
+}
+
+// SegmentMeanBacklog averages the backlog series over the fraction range
+// [from, to) of the simulated span — used by stability detection (e.g.
+// compare [0.4,0.5) against [0.9,1.0)).
+func (r *Result) SegmentMeanBacklog(from, to float64) float64 {
+	s := r.BacklogSeries
+	if s == nil || s.Len() == 0 {
+		return 0
+	}
+	loT := int64(from * float64(r.Elapsed))
+	hiT := int64(to * float64(r.Elapsed))
+	var sum float64
+	var n int
+	for i := 0; i < s.Len(); i++ {
+		if s.T[i] >= loT && s.T[i] < hiT {
+			sum += s.V[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Run simulates one execution.
+func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
+	if cfg.Kappa < 1 {
+		panic("sim: Kappa must be at least 1")
+	}
+	if cfg.Horizon < 0 {
+		panic("sim: negative horizon")
+	}
+	ch := channel.New(cfg.Kappa, cfg.maxWindow())
+	r := rng.New(cfg.Seed)
+	jamRand := rng.New(cfg.Seed ^ 0x4a4d)
+	seriesCap := cfg.SeriesCap
+	if seriesCap == 0 {
+		seriesCap = 2048
+	}
+	res := &Result{
+		Protocol:      proto.Name(),
+		Arrival:       arr.Name(),
+		Kappa:         cfg.Kappa,
+		Horizon:       cfg.Horizon,
+		FirstArrival:  -1,
+		LastDelivery:  -1,
+		BacklogSeries: stats.NewSeries(seriesCap),
+	}
+	drainLimit := cfg.DrainLimit
+	if drainLimit == 0 {
+		drainLimit = 16 * cfg.Horizon
+		if drainLimit < 1<<20 {
+			drainLimit = 1 << 20
+		}
+	}
+	end := cfg.Horizon
+	waker, hasWaker := proto.(protocol.Waker)
+	observer, hasObserver := arr.(arrival.Observer)
+
+	var nextID channel.PacketID
+	var injectSlot []int64 // inject time by PacketID, for latency
+	idBuf := make([]channel.PacketID, 0, 64)
+	txBuf := make([]channel.PacketID, 0, 64)
+
+	for now := int64(0); ; {
+		if now >= end {
+			if !cfg.Drain || proto.Pending() == 0 || now >= cfg.Horizon+drainLimit {
+				res.Elapsed = now
+				break
+			}
+		}
+		// Arrivals (only before the horizon).
+		if now < cfg.Horizon {
+			n := arr.Injections(now, r)
+			if n > 0 {
+				idBuf = idBuf[:0]
+				for i := 0; i < n; i++ {
+					idBuf = append(idBuf, nextID)
+					injectSlot = append(injectSlot, now)
+					nextID++
+				}
+				proto.Inject(now, idBuf)
+				res.Arrivals += int64(n)
+				if res.FirstArrival < 0 {
+					res.FirstArrival = now
+				}
+			}
+		}
+		// One channel slot.
+		txBuf = proto.Transmitters(now, txBuf[:0])
+		jammed := cfg.Jammer != nil && cfg.Jammer.Jammed(now, jamRand)
+		class, ev := ch.StepJammed(now, txBuf, jammed)
+		fb := channel.Feedback{Slot: now, Silent: class == channel.Silent, Event: ev}
+		proto.Observe(fb)
+		if hasObserver {
+			observer.ObserveSlot(fb)
+		}
+		if ev != nil {
+			res.Delivered += int64(len(ev.Packets))
+			res.LastDelivery = now
+			for _, id := range ev.Packets {
+				lat := float64(now - injectSlot[id] + 1)
+				res.Latency.Add(lat)
+				if cfg.TrackLatency {
+					res.Latencies = append(res.Latencies, lat)
+				}
+			}
+		}
+		backlog := proto.Pending()
+		if backlog > res.MaxBacklog {
+			res.MaxBacklog = backlog
+		}
+		res.BacklogSeries.Add(now, float64(backlog))
+
+		// Advance, fast-forwarding when provably nothing happens.
+		next := now + 1
+		if backlog == 0 {
+			na := int64(-1)
+			if now+1 < cfg.Horizon {
+				na = arr.NextAfter(now)
+			}
+			if na < 0 {
+				// Nothing pending and no arrivals will ever come.
+				res.Elapsed = now + 1
+				return finish(res, ch, proto)
+			}
+			next = na
+		} else if hasWaker {
+			nw := waker.NextWake(now)
+			if nw > now+1 {
+				next = nw
+				if now+1 < cfg.Horizon {
+					if na := arr.NextAfter(now); na >= 0 && na < next {
+						next = na
+					}
+				}
+			}
+		}
+		if now < end && next > end {
+			next = end
+		}
+		if skipped := next - (now + 1); skipped > 0 {
+			ch.AddSilent(skipped)
+		}
+		now = next
+	}
+	return finish(res, ch, proto)
+}
+
+func finish(res *Result, ch *channel.Channel, proto protocol.Protocol) *Result {
+	res.Pending = proto.Pending()
+	res.Channel = ch.Stats()
+	return res
+}
+
+// String summarizes the result in one line.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s κ=%d: arrivals=%d delivered=%d pending=%d maxBacklog=%d thpt=%.3f",
+		r.Protocol, r.Arrival, r.Kappa, r.Arrivals, r.Delivered, r.Pending,
+		r.MaxBacklog, r.CompletionThroughput())
+}

@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arrival"
+	"repro/internal/baseline"
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/jam"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+func TestBatchRunDBA(t *testing.T) {
+	const kappa, n = 16, 500
+	res := Run(Config{Kappa: kappa, Horizon: 1, Drain: true, Seed: 1, TrackLatency: true},
+		core.New(kappa, rng.New(2)), &arrival.Batch{At: 0, N: n})
+	if res.Arrivals != n {
+		t.Fatalf("arrivals %d", res.Arrivals)
+	}
+	if res.Delivered != n {
+		t.Fatalf("delivered %d of %d (pending %d)", res.Delivered, n, res.Pending)
+	}
+	if res.Pending != 0 {
+		t.Fatalf("pending %d", res.Pending)
+	}
+	if res.CompletionThroughput() <= 0.5 {
+		t.Fatalf("throughput %v suspiciously low", res.CompletionThroughput())
+	}
+	if res.Latency.N() != n {
+		t.Fatalf("latency samples %d", res.Latency.N())
+	}
+	if res.LatencyQuantile(1) < res.LatencyQuantile(0.5) {
+		t.Fatal("latency quantiles inconsistent")
+	}
+	if res.MaxBacklog != n {
+		t.Fatalf("max backlog %d, want %d", res.MaxBacklog, n)
+	}
+	if res.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestConservationAcrossProtocols(t *testing.T) {
+	const kappa = 8
+	build := map[string]func() protocol.Protocol{
+		"dba":   func() protocol.Protocol { return core.New(kappa, rng.New(3)) },
+		"beb":   func() protocol.Protocol { return baseline.NewExponentialBackoff(rng.New(4)) },
+		"aloha": func() protocol.Protocol { return baseline.NewGenieAloha(rng.New(5), 1) },
+		"mw": func() protocol.Protocol {
+			return baseline.NewMultiplicativeWeights(rng.New(6), baseline.DefaultMWConfig())
+		},
+	}
+	for name, mk := range build {
+		res := Run(Config{Kappa: kappa, Horizon: 3000, Drain: true, Seed: 7},
+			mk(), &arrival.Bernoulli{Rate: 0.2})
+		if res.Arrivals != res.Delivered+int64(res.Pending) {
+			t.Fatalf("%s: conservation violated: %d != %d + %d",
+				name, res.Arrivals, res.Delivered, res.Pending)
+		}
+		if res.Delivered == 0 {
+			t.Fatalf("%s: nothing delivered", name)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	mk := func() *Result {
+		return Run(Config{Kappa: 16, Horizon: 5000, Drain: true, Seed: 11},
+			core.New(16, rng.New(12)), &arrival.Bernoulli{Rate: 0.3})
+	}
+	a, b := mk(), mk()
+	if a.Delivered != b.Delivered || a.Elapsed != b.Elapsed ||
+		a.MaxBacklog != b.MaxBacklog || a.Latency.Mean() != b.Latency.Mean() {
+		t.Fatalf("same seeds diverged: %v vs %v", a, b)
+	}
+}
+
+func TestFastForwardIdle(t *testing.T) {
+	// A tiny batch at slot 0 and another at slot 10^7: the engine must
+	// not walk every slot in between.  (If it did, this test would still
+	// pass but take visibly long; we assert on the channel's accounting.)
+	const kappa = 8
+	batches := &twoBatches{first: 3, second: 3, secondAt: 10_000_000}
+	res := Run(Config{Kappa: kappa, Horizon: 10_000_001, Drain: true, Seed: 13},
+		core.New(kappa, rng.New(14)), batches)
+	if res.Delivered != 6 {
+		t.Fatalf("delivered %d of 6", res.Delivered)
+	}
+	total := res.Channel.SilentSlots + res.Channel.GoodSlots + res.Channel.BadSlots
+	if total < 10_000_000 {
+		t.Fatalf("slot accounting lost the idle stretch: %d", total)
+	}
+}
+
+// twoBatches injects `first` packets at slot 0 and `second` at secondAt.
+type twoBatches struct {
+	first, second int
+	secondAt      int64
+}
+
+func (b *twoBatches) Name() string { return "two-batches" }
+func (b *twoBatches) Injections(now int64, _ *rng.Rand) int {
+	switch now {
+	case 0:
+		return b.first
+	case b.secondAt:
+		return b.second
+	}
+	return 0
+}
+func (b *twoBatches) NextAfter(now int64) int64 {
+	switch {
+	case now < 0:
+		return 0
+	case now < b.secondAt:
+		return b.secondAt
+	}
+	return -1
+}
+
+func TestWakerFastForward(t *testing.T) {
+	// BEB implements Waker; a lone packet with a huge backoff window must
+	// not cost per-slot work.  Verify slots accounting stays exact.
+	e := baseline.NewExponentialBackoff(rng.New(15))
+	res := Run(Config{Kappa: 1, Horizon: 1, Drain: true, Seed: 16},
+		e, &arrival.Batch{At: 0, N: 5})
+	if res.Delivered != 5 {
+		t.Fatalf("delivered %d of 5", res.Delivered)
+	}
+	total := res.Channel.SilentSlots + res.Channel.GoodSlots + res.Channel.BadSlots
+	if total != res.Elapsed {
+		t.Fatalf("slot accounting %d != elapsed %d", total, res.Elapsed)
+	}
+}
+
+func TestHorizonZero(t *testing.T) {
+	res := Run(Config{Kappa: 8, Horizon: 0, Seed: 1},
+		core.New(8, rng.New(1)), &arrival.Batch{At: 0, N: 5})
+	if res.Arrivals != 0 || res.Elapsed != 0 {
+		t.Fatalf("horizon-0 run did something: %+v", res)
+	}
+}
+
+func TestNoDrainLeavesBacklog(t *testing.T) {
+	res := Run(Config{Kappa: 8, Horizon: 3, Seed: 1},
+		core.New(8, rng.New(1)), &arrival.Batch{At: 0, N: 100})
+	if res.Pending == 0 {
+		t.Fatal("100 packets cannot complete in 3 slots")
+	}
+	if res.Elapsed != 3 {
+		t.Fatalf("elapsed %d, want 3", res.Elapsed)
+	}
+}
+
+func TestDrainLimitRespected(t *testing.T) {
+	// An overloaded system must stop at Horizon+DrainLimit.
+	res := Run(Config{Kappa: 8, Horizon: 100, Drain: true, DrainLimit: 50, Seed: 2},
+		baseline.NewSlottedAloha(rng.New(3), 0.9), // hopeless: constant collisions
+		&arrival.Batch{At: 0, N: 50})
+	if res.Elapsed > 150 {
+		t.Fatalf("drain limit ignored: elapsed %d", res.Elapsed)
+	}
+}
+
+func TestSegmentMeanBacklog(t *testing.T) {
+	res := Run(Config{Kappa: 16, Horizon: 20000, Seed: 4},
+		core.New(16, rng.New(5)), &arrival.Bernoulli{Rate: 0.3})
+	early := res.SegmentMeanBacklog(0.1, 0.5)
+	late := res.SegmentMeanBacklog(0.5, 1.0)
+	if early < 0 || late < 0 {
+		t.Fatal("negative backlog segment")
+	}
+	// At rate 0.3 with kappa 16 the system is stable: late backlog must
+	// not be drastically larger than early.
+	if late > 20*math.Max(early, 5) {
+		t.Fatalf("backlog diverging at low load: early %v late %v", early, late)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"kappa": func() {
+			Run(Config{Kappa: 0, Horizon: 1}, core.New(8, rng.New(1)), arrival.None{})
+		},
+		"horizon": func() {
+			Run(Config{Kappa: 8, Horizon: -1}, core.New(8, rng.New(1)), arrival.None{})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMaxWindowDefaults(t *testing.T) {
+	cfg := Config{Kappa: 16}
+	if cfg.maxWindow() != 64 {
+		t.Fatalf("default maxWindow %d, want 64", cfg.maxWindow())
+	}
+	cfg.MaxWindow = NoWindowCap
+	if cfg.maxWindow() != 0 {
+		t.Fatalf("NoWindowCap maxWindow %d, want 0", cfg.maxWindow())
+	}
+	cfg.MaxWindow = 7
+	if cfg.maxWindow() != 7 {
+		t.Fatalf("explicit maxWindow %d", cfg.maxWindow())
+	}
+}
+
+func TestAdaptiveArrivalObserved(t *testing.T) {
+	// The disruptor must actually see channel feedback through the engine.
+	dis := &arrival.Disruptor{BurstSize: 2}
+	capped := arrival.NewCap(dis, 100, 10)
+	res := Run(Config{Kappa: 8, Horizon: 2000, Drain: true, Seed: 6},
+		core.New(8, rng.New(7)), capped)
+	if res.Arrivals == 0 {
+		t.Fatal("disruptor never injected (feedback not forwarded?)")
+	}
+	if res.Arrivals != res.Delivered+int64(res.Pending) {
+		t.Fatal("conservation violated with adaptive arrivals")
+	}
+}
+
+func TestRunTrialsDeterministicAndParallel(t *testing.T) {
+	f := func(trial int, seed uint64) *Result {
+		return Run(Config{Kappa: 16, Horizon: 2000, Drain: true, Seed: seed},
+			core.New(16, rng.New(seed^0x9e37)), &arrival.Bernoulli{Rate: 0.4})
+	}
+	serial := RunTrials(8, 42, 1, f)
+	parallel := RunTrials(8, 42, 4, f)
+	for i := range serial {
+		if serial[i].Delivered != parallel[i].Delivered ||
+			serial[i].Elapsed != parallel[i].Elapsed {
+			t.Fatalf("trial %d: serial/parallel mismatch", i)
+		}
+	}
+	agg := Aggregate(serial, func(r *Result) float64 { return float64(r.Delivered) })
+	if agg.N() != 8 || agg.Mean() <= 0 {
+		t.Fatalf("aggregate %v", agg)
+	}
+}
+
+func TestRunTrialsEdgeCases(t *testing.T) {
+	if RunTrials(0, 1, 1, nil) != nil {
+		t.Fatal("zero trials should return nil")
+	}
+	res := RunTrials(3, 1, 100, func(trial int, seed uint64) *Result {
+		return &Result{Delivered: int64(trial)}
+	})
+	for i, r := range res {
+		if r.Delivered != int64(i) {
+			t.Fatalf("results out of order: %v", res)
+		}
+	}
+}
+
+func TestLatencyOmittedWithoutTracking(t *testing.T) {
+	res := Run(Config{Kappa: 8, Horizon: 1, Drain: true, Seed: 1},
+		core.New(8, rng.New(1)), &arrival.Batch{At: 0, N: 10})
+	if res.Latencies != nil {
+		t.Fatal("latencies recorded without TrackLatency")
+	}
+	if !math.IsNaN(res.LatencyQuantile(0.5)) {
+		t.Fatal("quantile without tracking should be NaN")
+	}
+	if res.Latency.N() != 10 {
+		t.Fatal("summary should still accumulate")
+	}
+}
+
+// TestChannelDetectorEquivalenceEndToEnd replays a full DBA run through
+// the brute-force Definition 1 reference detector.
+func TestChannelDetectorEquivalenceEndToEnd(t *testing.T) {
+	const kappa = 8
+	d := core.New(kappa, rng.New(21))
+	fast := channel.New(kappa, 4*kappa)
+	ref := channel.NewReference(kappa, 4*kappa)
+	var nextID channel.PacketID
+	buf := make([]channel.PacketID, 0, 64)
+	for now := int64(0); now < 4000; now++ {
+		if now%4 == 0 && now < 3000 {
+			d.Inject(now, []channel.PacketID{nextID})
+			nextID++
+		}
+		buf = d.Transmitters(now, buf[:0])
+		fc, fe := fast.Step(now, buf)
+		rc, re := ref.Step(now, buf)
+		if fc != rc || (fe == nil) != (re == nil) {
+			t.Fatalf("slot %d: detector divergence", now)
+		}
+		if fe != nil && fe.Size() != re.Size() {
+			t.Fatalf("slot %d: event size %d vs %d", now, fe.Size(), re.Size())
+		}
+		d.Observe(channel.Feedback{Slot: now, Silent: fc == channel.Silent, Event: fe})
+	}
+}
+
+func TestJammedRunConservation(t *testing.T) {
+	res := Run(Config{Kappa: 16, Horizon: 5000, Drain: true, Seed: 31,
+		Jammer: &jam.Random{Rate: 0.3}},
+		core.New(16, rng.New(32)), &arrival.Bernoulli{Rate: 0.3})
+	if res.Arrivals != res.Delivered+int64(res.Pending) {
+		t.Fatalf("conservation violated under jamming: %d != %d + %d",
+			res.Arrivals, res.Delivered, res.Pending)
+	}
+	if res.Channel.JammedSlots == 0 {
+		t.Fatal("jammer never fired")
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered under 30% jamming at load 0.3")
+	}
+}
+
+func TestJammedSlotsNeverGood(t *testing.T) {
+	ch := channel.New(4, 0)
+	class, ev := ch.StepJammed(0, []channel.PacketID{1}, true)
+	if class != channel.Bad || ev != nil {
+		t.Fatalf("jammed slot class %v ev %v", class, ev)
+	}
+	// An empty jammed slot is audibly busy, not silent.
+	class, _ = ch.StepJammed(1, nil, true)
+	if class != channel.Bad {
+		t.Fatalf("empty jammed slot class %v, want Bad", class)
+	}
+	st := ch.Stats()
+	if st.JammedSlots != 2 || st.BadSlots != 2 || st.SilentSlots != 0 {
+		t.Fatalf("jam accounting wrong: %+v", st)
+	}
+	// The pair still decodes from clean slots afterwards.
+	ch.Step(2, []channel.PacketID{1, 2})
+	_, ev = ch.Step(3, []channel.PacketID{1, 2})
+	if ev == nil || ev.Size() != 2 {
+		t.Fatalf("clean window after jamming failed: %+v", ev)
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// TrialFunc builds and runs one independent trial from a seed, returning
+// its result.  Implementations must construct a fresh protocol, arrival
+// process, and channel per call (they are stateful).
+type TrialFunc func(trial int, seed uint64) *Result
+
+// RunTrials executes n independent trials, fanning them out over up to
+// `parallelism` goroutines (0 = GOMAXPROCS).  Trial seeds are derived
+// deterministically from baseSeed, so results are reproducible regardless
+// of scheduling, and results are returned indexed by trial.
+func RunTrials(n int, baseSeed uint64, parallelism int, f TrialFunc) []*Result {
+	if n <= 0 {
+		return nil
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	seeds := make([]uint64, n)
+	seedGen := rng.New(baseSeed)
+	for i := range seeds {
+		seeds[i] = seedGen.Uint64()
+	}
+	results := make([]*Result, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = f(i, seeds[i])
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// Aggregate summarizes a metric over trial results.
+func Aggregate(results []*Result, metric func(*Result) float64) stats.Summary {
+	var s stats.Summary
+	for _, r := range results {
+		if r != nil {
+			s.Add(metric(r))
+		}
+	}
+	return s
+}

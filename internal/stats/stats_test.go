@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("zero-value summary not empty")
+	}
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		s.Add(x)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-3) > 1e-12 {
+		t.Fatalf("mean %v", s.Mean())
+	}
+	if math.Abs(s.Variance()-2.5) > 1e-12 {
+		t.Fatalf("variance %v", s.Variance())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("extremes %v %v", s.Min(), s.Max())
+	}
+	if s.CI95() <= 0 {
+		t.Fatal("CI95 not positive")
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestSummaryMatchesNaive(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(100)
+		var s Summary
+		var sum, sumsq float64
+		for i := 0; i < n; i++ {
+			x := r.NormFloat64() * 10
+			s.Add(x)
+			sum += x
+			sumsq += x * x
+		}
+		mean := sum / float64(n)
+		variance := (sumsq - float64(n)*mean*mean) / float64(n-1)
+		return math.Abs(s.Mean()-mean) < 1e-9 &&
+			math.Abs(s.Variance()-variance) < 1e-6*math.Max(1, variance)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryNegativeValues(t *testing.T) {
+	var s Summary
+	s.Add(-5)
+	s.Add(-1)
+	if s.Min() != -5 || s.Max() != -1 {
+		t.Fatalf("extremes %v %v", s.Min(), s.Max())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	data := []float64{5, 1, 3, 2, 4}
+	if q := Quantile(data, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(data, 1); q != 5 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(data, 0.5); q != 3 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := Quantile(data, 0.25); q != 2 {
+		t.Fatalf("q25 = %v", q)
+	}
+	// Input unchanged.
+	if data[0] != 5 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestQuantileSingle(t *testing.T) {
+	if q := Quantile([]float64{7}, 0.9); q != 7 {
+		t.Fatalf("single-element quantile %v", q)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	data := []float64{0, 10}
+	if q := Quantile(data, 0.25); math.Abs(q-2.5) > 1e-12 {
+		t.Fatalf("interpolated q25 = %v", q)
+	}
+}
+
+func TestQuantilesConsistent(t *testing.T) {
+	data := []float64{9, 2, 7, 4, 6, 1}
+	qs := Quantiles(data, 0.1, 0.5, 0.9)
+	for i, q := range []float64{0.1, 0.5, 0.9} {
+		if qs[i] != Quantile(data, q) {
+			t.Fatalf("Quantiles mismatch at %v", q)
+		}
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty": func() { Quantile(nil, 0.5) },
+		"low":   func() { Quantile([]float64{1}, -0.1) },
+		"high":  func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.9, -3, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total %d", h.Total())
+	}
+	if h.Counts[0] != 3 { // 0, 1.9, -3 (clamped)
+		t.Fatalf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[4] != 2 { // 9.9, 42 (clamped)
+		t.Fatalf("bin4 = %d", h.Counts[4])
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"bins":  func() { NewHistogram(0, 1, 0) },
+		"range": func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSeriesDownsamples(t *testing.T) {
+	s := NewSeries(16)
+	for i := int64(0); i < 10000; i++ {
+		s.Add(i, float64(i))
+	}
+	if s.Len() >= 16 {
+		t.Fatalf("series exceeded cap: %d", s.Len())
+	}
+	if s.Len() < 4 {
+		t.Fatalf("series too aggressive: %d points", s.Len())
+	}
+	// Times must be strictly increasing and values consistent.
+	for i := 1; i < s.Len(); i++ {
+		if s.T[i] <= s.T[i-1] {
+			t.Fatalf("series times not increasing: %v", s.T)
+		}
+		if s.V[i] != float64(s.T[i]) {
+			t.Fatalf("series value mismatch at %d", i)
+		}
+	}
+	if s.Stride() < 2 {
+		t.Fatalf("stride did not grow: %d", s.Stride())
+	}
+}
+
+func TestSeriesSmallInput(t *testing.T) {
+	s := NewSeries(100)
+	s.Add(3, 1)
+	s.Add(5, 2)
+	if s.Len() != 2 || s.T[0] != 3 || s.T[1] != 5 {
+		t.Fatalf("series %v %v", s.T, s.V)
+	}
+}
+
+func TestSeriesCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cap 1 did not panic")
+		}
+	}()
+	NewSeries(1)
+}
