@@ -16,6 +16,9 @@
 //     sliding-window rate cap from the paper's theorems;
 //   - a deterministic discrete-round simulation engine with a parallel
 //     multi-trial runner;
+//   - a declarative scenario-sweep subsystem (internal/sweep) that
+//     expands protocol × arrival × κ × rate × jammer grids and executes
+//     every cell's trials in parallel;
 //   - physical-layer substrates (GF(2^8) random linear network coding and
 //     a ZigZag-style additive-collision decoder) grounding the model.
 //
@@ -26,6 +29,25 @@
 //	    proto, crn.NewBatch(10000))
 //	fmt.Printf("throughput: %.3f\n", res.CompletionThroughput())
 //
-// See the examples directory for runnable programs, DESIGN.md for the
-// system inventory, and EXPERIMENTS.md for the paper-vs-measured record.
+// # Scenario sweeps
+//
+// cmd/crnsweep runs whole grids of scenarios in parallel and emits
+// per-cell aggregates (throughput, max backlog, latency quantiles,
+// slot-class mix, error epochs) as aligned tables, CSV, and JSON:
+//
+//	crnsweep -protocols dba,beb -kappas 8,64 -rates 0.3,0.6 -trials 4
+//	crnsweep -spec sweep.json -json - -quiet
+//	crnsweep -bench BENCH_sweep.json
+//
+// The JSON artifact is {"spec": ..., "cells": [...]} with cells in
+// canonical expansion order and per-metric {mean, stddev, min, max}
+// aggregates.  Artifacts are deterministic: the same spec and seed
+// reproduce byte-identical bytes at any parallelism, so sweep results
+// (and the BENCH_sweep.json benchmark artifact) are diffable across
+// commits.  cmd/experiments accepts -parallel to run the E1–E14
+// reproduction harness concurrently and -json for the same
+// machine-readable treatment.
+//
+// See the examples directory for runnable programs and DESIGN.md for the
+// system inventory and the §5 experiment index.
 package crn

@@ -216,9 +216,6 @@ func (c *Channel) checkDuplicates(txs []PacketID) {
 	if sameIDs(txs, c.prevTxs) {
 		return // identical to the already-validated previous slot
 	}
-	defer func() {
-		c.prevTxs = append(c.prevTxs[:0], txs...)
-	}()
 	if len(txs) <= 32 {
 		// Quadratic scan beats map traffic for the common small slots.
 		for i := 1; i < len(txs); i++ {
@@ -228,15 +225,18 @@ func (c *Channel) checkDuplicates(txs []PacketID) {
 				}
 			}
 		}
-		return
-	}
-	c.seenGen++
-	for _, id := range txs {
-		if c.seen[id] == c.seenGen {
-			panic(fmt.Sprintf("channel: packet %d transmitted twice in one slot", id))
+	} else {
+		c.seenGen++
+		for _, id := range txs {
+			if c.seen[id] == c.seenGen {
+				panic(fmt.Sprintf("channel: packet %d transmitted twice in one slot", id))
+			}
+			c.seen[id] = c.seenGen
 		}
-		c.seen[id] = c.seenGen
 	}
+	// Cache only lists that passed validation, so a caller that recovers
+	// from the panic cannot sneak the same invalid list past the cache.
+	c.prevTxs = append(c.prevTxs[:0], txs...)
 }
 
 // sameIDs reports whether a and b are element-wise identical.

@@ -411,3 +411,120 @@ func TestQuickProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSameIDs(t *testing.T) {
+	cases := []struct {
+		a, b []PacketID
+		want bool
+	}{
+		{nil, nil, true},
+		{ids(1), nil, false},
+		{ids(1, 2), ids(1, 2), true},
+		{ids(1, 2), ids(2, 1), false},
+		{ids(1, 2, 3), ids(1, 2), false},
+	}
+	for _, c := range cases {
+		if got := sameIDs(c.a, c.b); got != c.want {
+			t.Errorf("sameIDs(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPrevTxsCacheHitAndMiss(t *testing.T) {
+	// Epoch-style traffic: the same valid set repeats (hit path), then a
+	// different set arrives (miss path) and must be re-validated.
+	c := New(2, 0)
+	group := ids(1, 2, 3) // bad slot for kappa=2, but validated each step
+	c.Step(0, group)
+	if !sameIDs(c.prevTxs, group) {
+		t.Fatalf("cache not primed: %v", c.prevTxs)
+	}
+	c.Step(1, group) // hit: identical consecutive list
+	c.Step(2, group)
+	st := c.Stats()
+	if st.BadSlots != 3 {
+		t.Fatalf("bad slots %d, want 3", st.BadSlots)
+	}
+	// Miss with a duplicate must still panic, even at the same length.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("duplicate after cache hits did not panic")
+			}
+		}()
+		c.Step(3, ids(4, 5, 4))
+	}()
+}
+
+func TestPrevTxsCacheNotPoisonedByPanic(t *testing.T) {
+	// A list that failed validation must not enter the cache: replaying
+	// the identical invalid list after recovering has to panic again.
+	c := New(2, 0)
+	bad := ids(7, 8, 7)
+	for round := 0; round < 2; round++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("round %d: duplicate did not panic", round)
+				}
+			}()
+			c.Step(int64(round), bad)
+		}()
+	}
+}
+
+func TestPrevTxsCacheLargeSlot(t *testing.T) {
+	// Slots above the quadratic-scan threshold use the generation-stamped
+	// map; both the repeat (hit) and the duplicate (miss) paths must work.
+	c := New(2, 0)
+	large := make([]PacketID, 40)
+	for i := range large {
+		large[i] = PacketID(i)
+	}
+	c.Step(0, large)
+	c.Step(1, large) // hit path at len > 32
+	if st := c.Stats(); st.BadSlots != 2 {
+		t.Fatalf("bad slots %d, want 2", st.BadSlots)
+	}
+	large[39] = large[0] // now a duplicate
+	defer func() {
+		if recover() == nil {
+			t.Fatal("large duplicate did not panic")
+		}
+	}()
+	c.Step(2, large)
+}
+
+func TestAddSilentAccounting(t *testing.T) {
+	// AddSilent must bump only the silent counter and leave the detector
+	// state untouched: a window in progress still decodes afterwards.
+	c := New(4, 0)
+	c.Step(0, ids(1, 2))
+	before := c.PendingGoodSlots()
+	c.AddSilent(1000)
+	if c.PendingGoodSlots() != before {
+		t.Fatal("AddSilent disturbed detector state")
+	}
+	st := c.Stats()
+	if st.SilentSlots != 1000 || st.GoodSlots != 1 || st.BadSlots != 0 || st.Events != 0 {
+		t.Fatalf("AddSilent accounting wrong: %+v", st)
+	}
+	_, ev := c.Step(1001, ids(1, 2))
+	if ev == nil || ev.Size() != 2 {
+		t.Fatalf("window did not survive AddSilent: %+v", ev)
+	}
+	c.AddSilent(0) // zero is a no-op, not an error
+	if c.Stats().SilentSlots != 1000 {
+		t.Fatalf("silent slots %d, want 1000", c.Stats().SilentSlots)
+	}
+}
+
+func TestAddSilentNegativePanics(t *testing.T) {
+	c := New(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative AddSilent did not panic")
+		}
+	}()
+	c.AddSilent(-1)
+}

@@ -1,0 +1,44 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteJSON writes v as indented JSON followed by a newline — the
+// machine-readable artifact format shared by the sweep and experiment
+// harnesses.  Serialization is deterministic for deterministic inputs
+// (encoding/json sorts map keys and struct fields keep source order).
+func WriteJSON(w io.Writer, v interface{}) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	return nil
+}
+
+// SaveJSON writes v's JSON rendering to path, creating parent
+// directories as needed.
+func SaveJSON(path string, v interface{}) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	defer f.Close()
+	if err := WriteJSON(f, v); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -166,6 +166,11 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 		if drainLimit < 1<<20 {
 			drainLimit = 1 << 20
 		}
+	} else if drainLimit < 0 {
+		// A negative limit always meant "no drain budget" (the phase ended
+		// at the horizon); normalize so the fast-forward clamp below can
+		// never pin `next` at or before `now`.
+		drainLimit = 0
 	}
 	end := cfg.Horizon
 	waker, hasWaker := proto.(protocol.Waker)
@@ -252,6 +257,11 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 		}
 		if now < end && next > end {
 			next = end
+		} else if cfg.Drain && next > end+drainLimit {
+			// A Waker may declare a wake-up far past the drain budget; the
+			// fast-forward target must still respect the documented
+			// Horizon+DrainLimit bound on Elapsed and silent-slot counts.
+			next = end + drainLimit
 		}
 		if skipped := next - (now + 1); skipped > 0 {
 			ch.AddSilent(skipped)

@@ -165,6 +165,46 @@ func TestDrainLimitRespected(t *testing.T) {
 	}
 }
 
+// sleepyWaker holds its packets forever and declares a next wake far past
+// any drain budget — the pathological Waker for the drain clamp.
+type sleepyWaker struct{ pending int }
+
+func (s *sleepyWaker) Name() string                           { return "sleepy" }
+func (s *sleepyWaker) Inject(_ int64, ids []channel.PacketID) { s.pending += len(ids) }
+func (s *sleepyWaker) Observe(channel.Feedback)               {}
+func (s *sleepyWaker) Pending() int                           { return s.pending }
+func (s *sleepyWaker) NextWake(now int64) int64               { return now + 1<<40 }
+func (s *sleepyWaker) Transmitters(_ int64, buf []channel.PacketID) []channel.PacketID {
+	return buf
+}
+
+func TestDrainClampsWakerFastForward(t *testing.T) {
+	// A protocol whose NextWake sleeps far ahead must not push Elapsed (or
+	// the silent-slot accounting) past Horizon+DrainLimit.
+	res := Run(Config{Kappa: 8, Horizon: 10, Drain: true, DrainLimit: 100, Seed: 1},
+		&sleepyWaker{}, &arrival.Batch{At: 0, N: 1})
+	if res.Elapsed > 110 {
+		t.Fatalf("elapsed %d overshoots Horizon+DrainLimit=110", res.Elapsed)
+	}
+	total := res.Channel.SilentSlots + res.Channel.GoodSlots + res.Channel.BadSlots
+	if total != res.Elapsed {
+		t.Fatalf("slot accounting %d != elapsed %d", total, res.Elapsed)
+	}
+}
+
+func TestNegativeDrainLimitTerminates(t *testing.T) {
+	// A negative DrainLimit means "no drain budget": the run must end at
+	// the horizon, not hang with the fast-forward clamp pinned at now.
+	res := Run(Config{Kappa: 8, Horizon: 10, Drain: true, DrainLimit: -100, Seed: 1},
+		&sleepyWaker{}, &arrival.Batch{At: 0, N: 1})
+	if res.Elapsed > 10 {
+		t.Fatalf("elapsed %d, want ≤ horizon 10", res.Elapsed)
+	}
+	if res.Pending != 1 {
+		t.Fatalf("pending %d, want 1", res.Pending)
+	}
+}
+
 func TestSegmentMeanBacklog(t *testing.T) {
 	res := Run(Config{Kappa: 16, Horizon: 20000, Seed: 4},
 		core.New(16, rng.New(5)), &arrival.Bernoulli{Rate: 0.3})

@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/arrival"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/jam"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+const (
+	defaultBurstWindow = 16384
+	defaultAlohaP      = 0.001
+)
+
+// buildProtocol constructs the scenario's protocol with its own rng
+// stream.  For dba, errCount receives the number of error epochs
+// (Definition 2) observed over the run.
+func (s *Spec) buildProtocol(sc Scenario, seed uint64, errCount *int64) protocol.Protocol {
+	r := rng.New(seed)
+	switch sc.Protocol {
+	case "dba":
+		return core.New(sc.Kappa, r, core.WithEpochObserver(
+			protocol.EpochObserverFunc(func(info protocol.EpochInfo) {
+				if info.Error {
+					*errCount++
+				}
+			})))
+	case "beb":
+		return baseline.NewExponentialBackoff(r)
+	case "aloha":
+		p := s.AlohaP
+		if p == 0 {
+			p = defaultAlohaP
+		}
+		return baseline.NewSlottedAloha(r, p)
+	case "genie":
+		return baseline.NewGenieAloha(r, 1)
+	case "mw":
+		return baseline.NewMultiplicativeWeights(r, baseline.DefaultMWConfig())
+	}
+	panic(fmt.Sprintf("sweep: unknown protocol %q", sc.Protocol)) // Validate rejects these
+}
+
+// buildArrival constructs the scenario's arrival process, mapping the
+// uniform rate axis onto each kind's own parameter.
+func (s *Spec) buildArrival(sc Scenario) arrival.Process {
+	switch sc.Arrival {
+	case "batch":
+		n := s.BatchN
+		if n == 0 {
+			n = int(sc.Rate * float64(s.Horizon))
+			if n < 1 {
+				n = 1
+			}
+		}
+		return &arrival.Batch{At: 0, N: n}
+	case "bernoulli":
+		return &arrival.Bernoulli{Rate: sc.Rate}
+	case "poisson":
+		return &arrival.Poisson{Lambda: sc.Rate}
+	case "even":
+		return arrival.NewEvenPaced(sc.Rate)
+	case "burst":
+		w := s.BurstWindow
+		if w == 0 {
+			w = defaultBurstWindow
+		}
+		per := int(sc.Rate * float64(w))
+		if per < 1 {
+			per = 1
+		}
+		return &arrival.WindowBurst{Window: w, PerWindow: per}
+	}
+	panic(fmt.Sprintf("sweep: unknown arrival %q", sc.Arrival))
+}
+
+// parseJammer decodes a jammer descriptor: "none" (or ""),
+// "random:RATE", or "periodic:PERIOD/BURST".
+func parseJammer(desc string) (jam.Jammer, error) {
+	switch {
+	case desc == "" || desc == "none":
+		return nil, nil
+	case strings.HasPrefix(desc, "random:"):
+		rate, err := strconv.ParseFloat(desc[len("random:"):], 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return nil, fmt.Errorf("sweep: bad jammer %q (want random:RATE with RATE in [0,1])", desc)
+		}
+		return &jam.Random{Rate: rate}, nil
+	case strings.HasPrefix(desc, "periodic:"):
+		spec := desc[len("periodic:"):]
+		slash := strings.IndexByte(spec, '/')
+		if slash < 0 {
+			return nil, fmt.Errorf("sweep: bad jammer %q (want periodic:PERIOD/BURST)", desc)
+		}
+		period, err1 := strconv.ParseInt(spec[:slash], 10, 64)
+		burst, err2 := strconv.ParseInt(spec[slash+1:], 10, 64)
+		if err1 != nil || err2 != nil || period < 1 || burst < 0 || burst > period {
+			return nil, fmt.Errorf("sweep: bad jammer %q (want periodic:PERIOD/BURST with 0 ≤ BURST ≤ PERIOD)", desc)
+		}
+		return &jam.Periodic{Period: period, Burst: burst}, nil
+	}
+	return nil, fmt.Errorf("sweep: unknown jammer %q (want none, random:RATE, or periodic:PERIOD/BURST)", desc)
+}
+
+// config builds the engine configuration for one trial of a cell.
+func (s *Spec) config(sc Scenario, seed uint64) sim.Config {
+	jammer, err := parseJammer(sc.Jammer)
+	if err != nil {
+		panic(err) // Validate rejects bad descriptors
+	}
+	return sim.Config{
+		Kappa:        sc.Kappa,
+		MaxWindow:    s.MaxWindow,
+		Horizon:      s.Horizon,
+		Drain:        !s.NoDrain,
+		DrainLimit:   s.DrainLimit,
+		Seed:         seed,
+		TrackLatency: true,
+		Jammer:       jammer,
+	}
+}

@@ -1,0 +1,76 @@
+package sweep
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// protoSeedSalt decorrelates a trial's protocol rng stream from its
+// arrival stream (which uses the trial seed directly via sim.Config).
+const protoSeedSalt = 0x70726f746f636f6c // "protocol"
+
+// Options tunes sweep execution.  The zero value is ready to use.
+type Options struct {
+	// Parallelism bounds concurrent trials (0 = GOMAXPROCS).
+	Parallelism int
+	// OnCell, if set, is called as each cell's last trial finishes, with
+	// the number of finished cells and the total.  Calls are serialized;
+	// cells complete in scheduling order, not necessarily grid order.
+	OnCell func(done, total int, cell *CellSummary)
+}
+
+// trialOut carries one trial's result plus the side-channel measurements
+// the sim.Result does not hold.
+type trialOut struct {
+	res       *sim.Result
+	errEpochs int64
+}
+
+// Run expands the spec and executes every (cell, trial) pair, fanning
+// the flattened trial list out over sim.RunTrials.  Trial seeds derive
+// deterministically from spec.Seed in canonical cell order, so the
+// resulting Grid is identical for any parallelism.
+func Run(spec Spec, opts Options) (*Grid, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cells := spec.Expand()
+	jobs := len(cells) * spec.Trials
+
+	grid := &Grid{Spec: spec, Cells: make([]CellSummary, len(cells))}
+	// Trials self-collect per cell so a cell can be summarized (and
+	// progress reported) the moment its last trial lands, while other
+	// cells are still running.  Each slot is written by exactly one
+	// goroutine; the atomic countdown orders those writes before the
+	// summarizing goroutine's reads.
+	outs := make([]trialOut, jobs)
+	remaining := make([]int32, len(cells))
+	for i := range remaining {
+		remaining[i] = int32(spec.Trials)
+	}
+	var progress struct {
+		sync.Mutex
+		done int
+	}
+	sim.RunTrials(jobs, spec.Seed, opts.Parallelism, func(job int, seed uint64) *sim.Result {
+		cellIdx := job / spec.Trials
+		sc := cells[cellIdx]
+		var errCount int64
+		proto := spec.buildProtocol(sc, seed^protoSeedSalt, &errCount)
+		res := sim.Run(spec.config(sc, seed), proto, spec.buildArrival(sc))
+		outs[job] = trialOut{res: res, errEpochs: errCount}
+		if atomic.AddInt32(&remaining[cellIdx], -1) == 0 {
+			grid.Cells[cellIdx] = summarize(sc, outs[cellIdx*spec.Trials:(cellIdx+1)*spec.Trials])
+			if opts.OnCell != nil {
+				progress.Lock()
+				progress.done++
+				opts.OnCell(progress.done, len(cells), &grid.Cells[cellIdx])
+				progress.Unlock()
+			}
+		}
+		return res
+	})
+	return grid, nil
+}

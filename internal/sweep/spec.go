@@ -1,0 +1,211 @@
+// Package sweep runs declarative scenario grids: a Spec names the
+// cross-product of protocols × arrival processes × decoding thresholds ×
+// rates × jammers it wants explored, and Run executes every cell's
+// trials in parallel, aggregating per-cell summaries into a Grid that
+// serializes to deterministic JSON and CSV.  Same spec + same seed ⇒
+// byte-identical artifacts, regardless of parallelism — sweep outputs
+// are diffable across commits.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Protocol and arrival kinds a Spec may name.
+var (
+	// Protocols lists the known protocol kinds in canonical order.
+	Protocols = []string{"dba", "beb", "aloha", "genie", "mw"}
+	// Arrivals lists the known arrival kinds in canonical order.
+	Arrivals = []string{"batch", "bernoulli", "poisson", "even", "burst"}
+)
+
+// Spec declares a scenario grid.  Every combination of one protocol, one
+// arrival kind, one κ, one rate, and one jammer is a cell; each cell
+// runs Trials independent trials.  The rate axis has a uniform "offered
+// load" meaning across arrival kinds: it is the per-slot probability
+// (bernoulli), intensity (poisson), pace (even), window-fill fraction
+// (burst: rate×BurstWindow packets per window), or horizon-fill fraction
+// (batch: rate×Horizon packets at slot 0, unless BatchN overrides).
+type Spec struct {
+	// Name labels the sweep in artifacts (optional).
+	Name string `json:"name,omitempty"`
+
+	// Protocols ⊆ {dba, beb, aloha, genie, mw}.
+	Protocols []string `json:"protocols"`
+	// Arrivals ⊆ {batch, bernoulli, poisson, even, burst}.
+	Arrivals []string `json:"arrivals"`
+	// Kappas are the decoding thresholds (≥ 1; ≥ 6 if dba is swept).
+	Kappas []int `json:"kappas"`
+	// Rates are the offered loads, each in (0, ∞).
+	Rates []float64 `json:"rates"`
+	// Jammers are jammer descriptors: "none", "random:RATE", or
+	// "periodic:PERIOD/BURST".  Empty means {"none"}.
+	Jammers []string `json:"jammers,omitempty"`
+
+	// Trials is the number of independent trials per cell (≥ 1).
+	Trials int `json:"trials"`
+	// Horizon is the arrival horizon in slots (≥ 1).
+	Horizon int64 `json:"horizon"`
+	// NoDrain stops each run at the horizon instead of draining.
+	NoDrain bool `json:"no_drain,omitempty"`
+	// DrainLimit bounds the drain phase (0 = engine default).
+	DrainLimit int64 `json:"drain_limit,omitempty"`
+	// MaxWindow caps the decoding window (0 = engine default 4κ).
+	MaxWindow int `json:"max_window,omitempty"`
+	// Seed drives all randomness; cell and trial seeds derive from it.
+	Seed uint64 `json:"seed"`
+
+	// BatchN overrides the batch arrival size (0 = rate×Horizon).
+	BatchN int `json:"batch_n,omitempty"`
+	// BurstWindow is the burst arrival window length (0 = 16384).
+	BurstWindow int64 `json:"burst_window,omitempty"`
+	// AlohaP is the static ALOHA transmission probability (0 = 0.001).
+	AlohaP float64 `json:"aloha_p,omitempty"`
+}
+
+// Scenario is one concrete cell of the expanded grid.
+type Scenario struct {
+	Protocol string  `json:"protocol"`
+	Arrival  string  `json:"arrival"`
+	Kappa    int     `json:"kappa"`
+	Rate     float64 `json:"rate"`
+	Jammer   string  `json:"jammer"`
+}
+
+// Key renders the cell coordinates compactly for tables and logs.
+func (s Scenario) Key() string {
+	return fmt.Sprintf("%s/%s/k=%d/rate=%g/jam=%s",
+		s.Protocol, s.Arrival, s.Kappa, s.Rate, s.Jammer)
+}
+
+func contains(set []string, s string) bool {
+	for _, x := range set {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the spec and normalizes defaults (empty Jammers
+// becomes {"none"}).  It returns the first problem found.
+func (s *Spec) Validate() error {
+	if len(s.Protocols) == 0 {
+		return fmt.Errorf("sweep: no protocols")
+	}
+	for _, p := range s.Protocols {
+		if !contains(Protocols, p) {
+			return fmt.Errorf("sweep: unknown protocol %q (want one of %s)",
+				p, strings.Join(Protocols, ", "))
+		}
+	}
+	if len(s.Arrivals) == 0 {
+		return fmt.Errorf("sweep: no arrivals")
+	}
+	for _, a := range s.Arrivals {
+		if !contains(Arrivals, a) {
+			return fmt.Errorf("sweep: unknown arrival %q (want one of %s)",
+				a, strings.Join(Arrivals, ", "))
+		}
+	}
+	if len(s.Kappas) == 0 {
+		return fmt.Errorf("sweep: no kappas")
+	}
+	for _, k := range s.Kappas {
+		if k < 1 {
+			return fmt.Errorf("sweep: kappa %d < 1", k)
+		}
+		if k < 6 && contains(s.Protocols, "dba") {
+			return fmt.Errorf("sweep: kappa %d < 6 but dba is swept (the analysis needs κ ≥ 6)", k)
+		}
+	}
+	if len(s.Rates) == 0 {
+		return fmt.Errorf("sweep: no rates")
+	}
+	for _, r := range s.Rates {
+		if r <= 0 {
+			return fmt.Errorf("sweep: rate %g ≤ 0", r)
+		}
+	}
+	if len(s.Jammers) == 0 {
+		s.Jammers = []string{"none"}
+	}
+	for _, j := range s.Jammers {
+		if _, err := parseJammer(j); err != nil {
+			return err
+		}
+	}
+	if s.Trials < 1 {
+		return fmt.Errorf("sweep: trials %d < 1", s.Trials)
+	}
+	if s.Horizon < 1 {
+		return fmt.Errorf("sweep: horizon %d < 1", s.Horizon)
+	}
+	if s.DrainLimit < 0 {
+		return fmt.Errorf("sweep: drain limit %d < 0", s.DrainLimit)
+	}
+	if s.MaxWindow < 0 {
+		return fmt.Errorf("sweep: max window %d < 0", s.MaxWindow)
+	}
+	if s.BatchN < 0 {
+		return fmt.Errorf("sweep: batch n %d < 0", s.BatchN)
+	}
+	if s.BurstWindow < 0 {
+		return fmt.Errorf("sweep: burst window %d < 0", s.BurstWindow)
+	}
+	if s.AlohaP < 0 || s.AlohaP > 1 {
+		return fmt.Errorf("sweep: aloha p %g outside [0,1]", s.AlohaP)
+	}
+	return nil
+}
+
+// Cells returns the number of cells the spec expands to.
+func (s *Spec) Cells() int {
+	jam := len(s.Jammers)
+	if jam == 0 {
+		jam = 1
+	}
+	return len(s.Protocols) * len(s.Arrivals) * len(s.Kappas) * len(s.Rates) * jam
+}
+
+// Expand enumerates the grid's cells in canonical nesting order
+// (protocol, then arrival, then κ, then rate, then jammer).  The order
+// is part of the artifact contract: cell seeds are assigned along it.
+func (s *Spec) Expand() []Scenario {
+	jammers := s.Jammers
+	if len(jammers) == 0 {
+		jammers = []string{"none"}
+	}
+	cells := make([]Scenario, 0, s.Cells())
+	for _, p := range s.Protocols {
+		for _, a := range s.Arrivals {
+			for _, k := range s.Kappas {
+				for _, r := range s.Rates {
+					for _, j := range jammers {
+						cells = append(cells, Scenario{
+							Protocol: p, Arrival: a, Kappa: k, Rate: r, Jammer: j,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// ParseSpec decodes a JSON spec, rejecting unknown fields so typos in
+// hand-written spec files fail loudly.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("sweep: bad spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,275 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func smallSpec() Spec {
+	return Spec{
+		Name:      "test",
+		Protocols: []string{"dba", "genie"},
+		Arrivals:  []string{"batch", "bernoulli"},
+		Kappas:    []int{8, 16},
+		Rates:     []float64{0.3, 0.6},
+		Trials:    2,
+		Horizon:   500,
+		Seed:      42,
+	}
+}
+
+func TestExpandOrderAndCount(t *testing.T) {
+	s := smallSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cells := s.Expand()
+	if len(cells) != s.Cells() || len(cells) != 16 {
+		t.Fatalf("expanded %d cells, Cells()=%d, want 16", len(cells), s.Cells())
+	}
+	// Canonical nesting: protocol outermost, jammer innermost.
+	if cells[0].Key() != "dba/batch/k=8/rate=0.3/jam=none" {
+		t.Fatalf("first cell %q", cells[0].Key())
+	}
+	if cells[1].Rate != 0.6 || cells[2].Kappa != 16 {
+		t.Fatalf("nesting order wrong: %v %v", cells[1], cells[2])
+	}
+	if cells[15].Key() != "genie/bernoulli/k=16/rate=0.6/jam=none" {
+		t.Fatalf("last cell %q", cells[15].Key())
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]func(*Spec){
+		"no protocols":    func(s *Spec) { s.Protocols = nil },
+		"bad protocol":    func(s *Spec) { s.Protocols = []string{"tdma"} },
+		"no arrivals":     func(s *Spec) { s.Arrivals = nil },
+		"bad arrival":     func(s *Spec) { s.Arrivals = []string{"fractal"} },
+		"no kappas":       func(s *Spec) { s.Kappas = nil },
+		"kappa zero":      func(s *Spec) { s.Kappas = []int{0} },
+		"dba small kappa": func(s *Spec) { s.Kappas = []int{4} },
+		"no rates":        func(s *Spec) { s.Rates = nil },
+		"rate zero":       func(s *Spec) { s.Rates = []float64{0} },
+		"bad jammer":      func(s *Spec) { s.Jammers = []string{"emp"} },
+		"bad random":      func(s *Spec) { s.Jammers = []string{"random:2"} },
+		"bad periodic":    func(s *Spec) { s.Jammers = []string{"periodic:10"} },
+		"no trials":       func(s *Spec) { s.Trials = 0 },
+		"no horizon":      func(s *Spec) { s.Horizon = 0 },
+		"neg drain limit": func(s *Spec) { s.DrainLimit = -1 },
+		"neg max window":  func(s *Spec) { s.MaxWindow = -1 },
+		"neg batch n":     func(s *Spec) { s.BatchN = -1 },
+		"neg burst win":   func(s *Spec) { s.BurstWindow = -1 },
+		"aloha p > 1":     func(s *Spec) { s.AlohaP = 1.5 },
+		"aloha p < 0":     func(s *Spec) { s.AlohaP = -0.1 },
+	}
+	for name, mutate := range cases {
+		s := smallSpec()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, s)
+		}
+	}
+}
+
+func TestValidateNormalizesJammers(t *testing.T) {
+	s := smallSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Jammers) != 1 || s.Jammers[0] != "none" {
+		t.Fatalf("jammers not normalized: %v", s.Jammers)
+	}
+}
+
+func TestRunSmallGrid(t *testing.T) {
+	grid, err := Run(smallSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Cells) != 16 {
+		t.Fatalf("%d cells", len(grid.Cells))
+	}
+	var progressed int
+	for _, c := range grid.Cells {
+		if c.Trials != 2 {
+			t.Fatalf("%s: %d trials", c.Key(), c.Trials)
+		}
+		if c.Arrivals == 0 {
+			t.Fatalf("%s: no arrivals", c.Key())
+		}
+		if c.Arrivals != c.Delivered+c.Pending {
+			t.Fatalf("%s: conservation violated: %d != %d + %d",
+				c.Key(), c.Arrivals, c.Delivered, c.Pending)
+		}
+		if c.Delivered > 0 {
+			progressed++
+			if c.Throughput.Mean <= 0 || c.LatencyP50.Mean < 1 {
+				t.Fatalf("%s: degenerate metrics: %+v", c.Key(), c)
+			}
+		}
+		if c.Slots.Silent+c.Slots.Good+c.Slots.Bad == 0 {
+			t.Fatalf("%s: empty slot mix", c.Key())
+		}
+	}
+	if progressed == 0 {
+		t.Fatal("no cell delivered anything")
+	}
+}
+
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	// Same spec + seed must produce byte-identical JSON, at any
+	// parallelism — the artifact-diffability contract.
+	render := func(par int) []byte {
+		grid, err := Run(smallSpec(), Options{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := grid.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	serial := render(1)
+	for _, par := range []int{2, 8} {
+		if !bytes.Equal(serial, render(par)) {
+			t.Fatalf("parallelism %d changed the artifact", par)
+		}
+	}
+	if !bytes.Equal(serial, render(1)) {
+		t.Fatal("rerun with the same seed diverged")
+	}
+}
+
+func TestRunSeedMatters(t *testing.T) {
+	a, err := Run(smallSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := smallSpec()
+	s.Seed = 43
+	b, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := a.JSON()
+	bj, _ := b.JSON()
+	if bytes.Equal(aj, bj) {
+		t.Fatal("different seeds produced identical artifacts")
+	}
+}
+
+func TestRunJammedCell(t *testing.T) {
+	s := Spec{
+		Protocols: []string{"genie"},
+		Arrivals:  []string{"bernoulli"},
+		Kappas:    []int{4},
+		Rates:     []float64{0.2},
+		Jammers:   []string{"none", "random:0.3", "periodic:100/10"},
+		Trials:    2,
+		Horizon:   2000,
+		Seed:      7,
+	}
+	grid, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.Cells[0].Slots.Jammed != 0 {
+		t.Fatal("unjammed cell recorded jammed slots")
+	}
+	for _, i := range []int{1, 2} {
+		if grid.Cells[i].Slots.Jammed == 0 {
+			t.Fatalf("cell %s never jammed", grid.Cells[i].Key())
+		}
+	}
+}
+
+func TestErrorEpochsCounted(t *testing.T) {
+	// Overloading dba at twice its stable rate forces some error epochs;
+	// non-epoch protocols must report zero.
+	s := Spec{
+		Protocols: []string{"dba", "beb"},
+		Arrivals:  []string{"bernoulli"},
+		Kappas:    []int{8},
+		Rates:     []float64{0.9},
+		Trials:    2,
+		Horizon:   5000,
+		NoDrain:   true,
+		Seed:      9,
+	}
+	grid, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.Cells[0].Protocol != "dba" || grid.Cells[0].ErrorEpochs == 0 {
+		t.Fatalf("dba overload shows no error epochs: %+v", grid.Cells[0])
+	}
+	if grid.Cells[1].ErrorEpochs != 0 {
+		t.Fatalf("beb reported error epochs: %+v", grid.Cells[1])
+	}
+}
+
+func TestOnCellProgress(t *testing.T) {
+	var calls []int
+	_, err := Run(Spec{
+		Protocols: []string{"genie"}, Arrivals: []string{"batch"},
+		Kappas: []int{2, 4}, Rates: []float64{0.5},
+		Trials: 1, Horizon: 100, Seed: 1,
+	}, Options{OnCell: func(done, total int, cell *CellSummary) {
+		if total != 2 || cell == nil {
+			t.Fatalf("bad progress call: %d/%d %v", done, total, cell)
+		}
+		calls = append(calls, done)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 2 || calls[0] != 1 || calls[1] != 2 {
+		t.Fatalf("progress calls %v", calls)
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	s := smallSpec()
+	s.Jammers = []string{"random:0.1"}
+	s.MaxWindow = 32
+	data, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != s.Name || back.MaxWindow != 32 || back.Jammers[0] != "random:0.1" {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	_, err := ParseSpec([]byte(`{"protocols":["dba"],"arrivalz":["batch"]}`))
+	if err == nil || !strings.Contains(err.Error(), "arrivalz") {
+		t.Fatalf("typo not rejected: %v", err)
+	}
+}
+
+func TestGridTableAndCSV(t *testing.T) {
+	grid, err := Run(Spec{
+		Protocols: []string{"genie"}, Arrivals: []string{"batch"},
+		Kappas: []int{4}, Rates: []float64{0.5},
+		Trials: 1, Horizon: 100, Seed: 1,
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := grid.Table().String()
+	if !strings.Contains(tab, "genie") || !strings.Contains(tab, "throughput") {
+		t.Fatalf("table missing content:\n%s", tab)
+	}
+	csv := grid.CSV()
+	if lines := strings.Count(csv, "\n"); lines != 2 { // header + 1 cell
+		t.Fatalf("CSV has %d lines:\n%s", lines, csv)
+	}
+}
