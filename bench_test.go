@@ -82,11 +82,26 @@ func BenchmarkDBABatchPerPacket(b *testing.B) {
 }
 
 // BenchmarkSustainedLoadPerSlot measures steady-state cost per slot at
-// 80% load, κ=64.
+// 80% load, κ=64, on the coded channel — the path the medium-interface
+// boundary must keep allocation-free (0 allocs/op attributable to it;
+// the residual allocs are protocol-side heap growth).
 func BenchmarkSustainedLoadPerSlot(b *testing.B) {
 	b.ReportAllocs()
 	res := Run(Config{Kappa: 64, Horizon: int64(b.N) + 1000, Seed: 1},
 		NewDecodableBackoff(64, 2), NewEvenPaced(0.8))
+	if res.Delivered == 0 {
+		b.Fatal("nothing delivered")
+	}
+}
+
+// BenchmarkClassicalPerSlot measures steady-state cost per slot on the
+// classical collision channel, whose success events fire every few
+// slots — the stress case for the medium's reused event storage.
+func BenchmarkClassicalPerSlot(b *testing.B) {
+	b.ReportAllocs()
+	res := Run(Config{Horizon: int64(b.N) + 1000, Seed: 1,
+		Medium: NewClassicalMedium(CDTernary)},
+		NewGenieAloha(2, 1), NewEvenPaced(0.25))
 	if res.Delivered == 0 {
 		b.Fatal("nothing delivered")
 	}

@@ -1,16 +1,19 @@
-// Command crnsim runs a single contention-resolution simulation on the
-// Coded Radio Network Model and reports throughput, backlog, latency,
-// and slot statistics.
+// Command crnsim runs a single contention-resolution simulation on a
+// chosen channel model — the Coded Radio Network Model or the classical
+// collision channel — and reports throughput, backlog, latency, and
+// slot statistics.
 //
 // Usage:
 //
-//	crnsim [-protocol dba|beb|aloha|genie|mw] [-kappa K] [-arrival kind] ...
+//	crnsim [-model coded|classical[:cd]] [-protocol dba|beb|aloha|genie|mw] [-kappa K] [-arrival kind] ...
 //
 // Examples:
 //
 //	crnsim -protocol dba -kappa 64 -arrival batch -n 10000
 //	crnsim -protocol genie -kappa 1 -arrival poisson -rate 0.35 -horizon 200000
 //	crnsim -protocol dba -kappa 256 -arrival burst -window 16384 -rate 0.9
+//	crnsim -model classical:none -protocol beb -arrival batch -n 2000
+//	crnsim -model classical -protocol mw -arrival bernoulli -rate 0.2
 package main
 
 import (
@@ -24,8 +27,9 @@ import (
 )
 
 func main() {
+	model := flag.String("model", "coded", "channel model: coded, classical, classical:none, classical:binary, classical:ternary")
 	protoName := flag.String("protocol", "dba", "protocol: dba, beb, aloha, genie, mw")
-	kappa := flag.Int("kappa", 64, "decoding threshold κ (dba needs ≥ 6)")
+	kappa := flag.Int("kappa", 64, "decoding threshold κ (coded model; dba needs ≥ 6)")
 	arrivalName := flag.String("arrival", "batch", "arrival process: batch, bernoulli, poisson, even, burst")
 	n := flag.Int("n", 10000, "batch size (arrival=batch)")
 	rate := flag.Float64("rate", 0.5, "arrival rate (bernoulli/poisson/even) or window fill fraction (burst)")
@@ -37,6 +41,21 @@ func main() {
 	plot := flag.Bool("plot", true, "render the backlog time series")
 	tracePath := flag.String("trace", "", "write the backlog time series to this CSV file")
 	flag.Parse()
+
+	var med crn.Medium
+	if *model != "coded" {
+		var err error
+		med, err = crn.NewMedium(*model, *kappa, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crnsim: %v\n", err)
+			os.Exit(2)
+		}
+		if *protoName == "dba" {
+			fmt.Fprintf(os.Stderr, "crnsim: dba is defined for the coded model (κ ≥ 6); pick -model coded or another protocol\n")
+			os.Exit(2)
+		}
+		*kappa = med.Kappa()
+	}
 
 	var proto crn.Protocol
 	switch *protoName {
@@ -81,12 +100,13 @@ func main() {
 		Drain:        *drain,
 		Seed:         *seed + 1,
 		TrackLatency: true,
+		Medium:       med,
 	}, proto, arr)
 
 	fmt.Printf("protocol:   %s\n", res.Protocol)
 	fmt.Printf("arrivals:   %s (%d packets)\n", res.Arrival, res.Arrivals)
-	fmt.Printf("channel:    κ=%d  good=%d bad=%d silent=%d events=%d\n",
-		res.Kappa, res.Channel.GoodSlots, res.Channel.BadSlots,
+	fmt.Printf("channel:    %s κ=%d  good=%d bad=%d silent=%d events=%d\n",
+		res.Medium, res.Kappa, res.Channel.GoodSlots, res.Channel.BadSlots,
 		res.Channel.SilentSlots, res.Channel.Events)
 	fmt.Printf("delivered:  %d (pending %d) in %d slots\n", res.Delivered, res.Pending, res.Elapsed)
 	fmt.Printf("throughput: %.4f (first arrival to last delivery)\n", res.CompletionThroughput())

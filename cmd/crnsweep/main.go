@@ -1,9 +1,10 @@
 // Command crnsweep runs a declarative scenario grid — the cross-product
-// of protocols × arrival processes × κ values × rates × jammers, with
-// several independent trials per cell — in parallel, and emits per-cell
-// aggregates as an aligned table, JSON, and/or CSV.  Artifacts are
-// deterministic: the same spec and seed reproduce byte-identical output
-// at any parallelism, so sweep results are diffable across commits.
+// of channel models × protocols × arrival processes × κ values × rates
+// × jammers, with several independent trials per cell — in parallel,
+// and emits per-cell aggregates as an aligned table, JSON, and/or CSV.
+// Artifacts are deterministic: the same spec and seed reproduce
+// byte-identical output at any parallelism, so sweep results are
+// diffable across commits.
 //
 // Usage:
 //
@@ -13,6 +14,7 @@
 //
 //	crnsweep                                    # default demo grid
 //	crnsweep -protocols dba,beb -kappas 8,64 -rates 0.3,0.6 -trials 4
+//	crnsweep -models coded,classical -protocols dba,beb,mw  # cross-model comparison
 //	crnsweep -spec sweep.json -json - -quiet    # spec file, JSON to stdout
 //	crnsweep -jammers none,random:0.2 -csv out/sweep.csv
 //	crnsweep -bench BENCH_sweep.json            # diffable benchmark artifact
@@ -33,6 +35,7 @@ import (
 func main() {
 	specPath := flag.String("spec", "", "JSON sweep spec file (grid flags are ignored if set)")
 	name := flag.String("name", "", "sweep name recorded in artifacts")
+	models := flag.String("models", "coded", "comma-separated channel models: coded, classical, classical:none, classical:binary, classical:ternary")
 	protocols := flag.String("protocols", "dba,genie", "comma-separated protocols: dba, beb, aloha, genie, mw")
 	arrivals := flag.String("arrivals", "bernoulli", "comma-separated arrivals: batch, bernoulli, poisson, even, burst")
 	kappas := flag.String("kappas", "8,64", "comma-separated decoding thresholds")
@@ -64,6 +67,7 @@ func main() {
 	} else {
 		spec = sweep.Spec{
 			Name:      *name,
+			Models:    splitList(*models),
 			Protocols: splitList(*protocols),
 			Arrivals:  splitList(*arrivals),
 			Kappas:    parseInts(*kappas),

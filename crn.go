@@ -6,6 +6,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/jam"
+	"repro/internal/medium"
 	"repro/internal/potential"
 	"repro/internal/protocol"
 	"repro/internal/rng"
@@ -50,6 +51,52 @@ type Channel = channel.Channel
 // NewChannel returns a coded radio channel with decoding threshold kappa
 // and a decoding-window length cap (0 = unbounded).
 func NewChannel(kappa, maxWindow int) *Channel { return channel.New(kappa, maxWindow) }
+
+// Medium is the base-station side of any channel model: the engine
+// drives it slot by slot and forwards its feedback to the protocol.
+// Config.Medium selects one (nil = the coded channel built from
+// Config.Kappa/MaxWindow); see NewCodedMedium, NewClassicalMedium,
+// NewJammedMedium, and NewMedium.
+type Medium = medium.Medium
+
+// CollisionDetection selects the feedback a classical medium gives its
+// devices: CDNone (no channel sensing), CDBinary (busy/idle carrier
+// sensing), or CDTernary (full collision detection).
+type CollisionDetection = medium.CD
+
+// Collision-detection modes for NewClassicalMedium.
+const (
+	CDNone    = medium.CDNone
+	CDBinary  = medium.CDBinary
+	CDTernary = medium.CDTernary
+)
+
+// ModelNames lists the channel-model descriptors NewMedium accepts, in
+// canonical order.
+var ModelNames = medium.Models
+
+// NewMedium constructs a channel medium from a model descriptor such as
+// "coded", "classical", or "classical:none".  kappa and maxWindow
+// parametrize the coded model and are ignored by classical ones.
+func NewMedium(model string, kappa, maxWindow int) (Medium, error) {
+	return medium.New(model, kappa, maxWindow)
+}
+
+// NewCodedMedium returns the paper's coded κ-threshold channel as a
+// Medium (maxWindow 0 = unbounded decoding windows).
+func NewCodedMedium(kappa, maxWindow int) Medium { return medium.NewCoded(kappa, maxWindow) }
+
+// NewClassicalMedium returns the classical collision channel (κ = 1
+// semantics: a slot delivers its packet iff exactly one device
+// transmits) with the given collision-detection feedback.
+func NewClassicalMedium(cd CollisionDetection) Medium { return medium.NewClassical(cd) }
+
+// NewJammedMedium composes a jammer over any medium: jammed slots are
+// spoiled before the inner medium sees them.  Jam decisions are
+// slot-keyed from seed, so they are independent of stepping history.
+func NewJammedMedium(inner Medium, j Jammer, seed uint64) Medium {
+	return medium.Jam(inner, j, seed)
+}
 
 // DecodableBackoffOption configures NewDecodableBackoff.
 type DecodableBackoffOption = core.Option

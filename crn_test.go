@@ -108,6 +108,42 @@ func TestChannelFacade(t *testing.T) {
 	}
 }
 
+func TestMediumFacade(t *testing.T) {
+	// Every baseline runs on the classical collision channel — the model
+	// it was designed for.
+	const n = 200
+	protos := map[string]Protocol{
+		"beb":   NewExponentialBackoff(4),
+		"genie": NewGenieAloha(6, 1),
+		"mw":    NewMultiplicativeWeights(7),
+	}
+	for name, p := range protos {
+		res := Run(Config{Horizon: 1, Drain: true, DrainLimit: 1 << 22, Seed: 8,
+			Medium: NewClassicalMedium(CDTernary)}, p, NewBatch(n))
+		if res.Delivered != n {
+			t.Fatalf("%s on classical delivered %d of %d", name, res.Delivered, n)
+		}
+		if res.Kappa != 1 || res.Medium != "classical:ternary" {
+			t.Fatalf("%s: result identity %q κ=%d", name, res.Medium, res.Kappa)
+		}
+	}
+	for _, model := range ModelNames {
+		if _, err := NewMedium(model, 8, 32); err != nil {
+			t.Fatalf("NewMedium(%q): %v", model, err)
+		}
+	}
+	// The coded medium can be passed explicitly, and jammers compose.
+	m := NewJammedMedium(NewCodedMedium(16, 64), NewPeriodicJammer(10, 2), 5)
+	res := Run(Config{Horizon: 1, Drain: true, Seed: 9, Medium: m},
+		NewDecodableBackoff(16, 10), NewBatch(n))
+	if res.Delivered != n {
+		t.Fatalf("jammed coded medium delivered %d of %d", res.Delivered, n)
+	}
+	if res.Channel.JammedSlots == 0 {
+		t.Fatal("periodic jammer never fired")
+	}
+}
+
 func TestThroughputApproachesOne(t *testing.T) {
 	// The library's headline: throughput rises with kappa.
 	var prev float64

@@ -7,18 +7,23 @@
 //   - the Coded Radio Network Model: a slotted channel whose base station
 //     decodes up to κ simultaneous transmissions via linear coding, with
 //     decoding events defined exactly as in the paper's Definition 1;
+//   - a pluggable channel-medium layer (internal/medium): the coded
+//     channel, the classical collision channel with selectable
+//     collision-detection feedback (none / binary / ternary), and a
+//     jam-composing wrapper, all behind one allocation-free interface so
+//     every protocol runs on every channel model;
 //   - the Decodable Backoff Algorithm, the paper's contention-resolution
 //     protocol achieving throughput 1 − Θ(1/ln κ);
 //   - the classical baselines the paper compares against (binary
 //     exponential backoff, slotted ALOHA, Chang–Jin–Pettie multiplicative
-//     weights);
+//     weights) — runnable on the channel they were designed for;
 //   - adversarial and stochastic arrival processes, including the
 //     sliding-window rate cap from the paper's theorems;
 //   - a deterministic discrete-round simulation engine with a parallel
 //     multi-trial runner;
 //   - a declarative scenario-sweep subsystem (internal/sweep) that
-//     expands protocol × arrival × κ × rate × jammer grids and executes
-//     every cell's trials in parallel;
+//     expands model × protocol × arrival × κ × rate × jammer grids and
+//     executes every cell's trials in parallel;
 //   - physical-layer substrates (GF(2^8) random linear network coding and
 //     a ZigZag-style additive-collision decoder) grounding the model.
 //
@@ -29,6 +34,20 @@
 //	    proto, crn.NewBatch(10000))
 //	fmt.Printf("throughput: %.3f\n", res.CompletionThroughput())
 //
+// # Channel models
+//
+// Config.Medium selects the channel model a run uses; nil picks the
+// paper's coded channel.  The classical collision channel runs the
+// baselines on the model they were designed for, with the
+// collision-detection feedback variants the classical literature
+// distinguishes:
+//
+//	res := crn.Run(crn.Config{Horizon: 1, Drain: true, Seed: 2,
+//	    Medium: crn.NewClassicalMedium(crn.CDTernary)},
+//	    crn.NewExponentialBackoff(1), crn.NewBatch(1000))
+//
+// cmd/crnsim accepts the same choice as -model.
+//
 // # Scenario sweeps
 //
 // cmd/crnsweep runs whole grids of scenarios in parallel and emits
@@ -36,8 +55,9 @@
 // slot-class mix, error epochs) as aligned tables, CSV, and JSON:
 //
 //	crnsweep -protocols dba,beb -kappas 8,64 -rates 0.3,0.6 -trials 4
+//	crnsweep -models coded,classical -protocols dba,beb,mw
 //	crnsweep -spec sweep.json -json - -quiet
-//	crnsweep -bench BENCH_sweep.json
+//	crnsweep -spec bench_spec.json -bench BENCH_sweep.json
 //
 // The JSON artifact is {"spec": ..., "cells": [...]} with cells in
 // canonical expansion order and per-metric {mean, stddev, min, max}

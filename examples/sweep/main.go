@@ -1,7 +1,13 @@
-// Example sweep maps Decodable Backoff against genie ALOHA over a small
-// κ × rate grid in parallel, then prints the per-cell aggregates and the
-// JSON artifact the grid serializes to.  The same grid is reproducible
-// byte-for-byte from the spec and seed alone — rerun it and diff.
+// Example sweep maps Decodable Backoff on the coded channel against
+// genie ALOHA on both the coded and the classical collision channel
+// over a small κ × rate grid in parallel, then prints the per-cell
+// aggregates and the JSON artifact the grid serializes to.  The same
+// grid is reproducible byte-for-byte from the spec and seed alone —
+// rerun it and diff.
+//
+// The models axis is the paper's headline claim made runnable: the
+// coded channel's throughput approaches 1 with κ, while the classical
+// collision channel caps genie ALOHA near 1/e at any load.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 func main() {
 	spec := sweep.Spec{
 		Name:      "dba-vs-genie",
+		Models:    []string{"coded", "classical"},
 		Protocols: []string{"dba", "genie"},
 		Arrivals:  []string{"bernoulli", "burst"},
 		Kappas:    []int{8, 64},
@@ -30,11 +37,12 @@ func main() {
 	}
 	fmt.Print(grid.Table().String())
 
-	// Highlight the headline comparison: throughput at high load.
+	// Highlight the headline comparison: throughput at high load, coded
+	// vs classical.
 	fmt.Println("\nThroughput at rate 0.8 (mean over trials):")
 	for _, c := range grid.Cells {
 		if c.Rate == 0.8 {
-			fmt.Printf("  %-36s %.3f\n", c.Key(), c.Throughput.Mean)
+			fmt.Printf("  %-52s %.3f\n", c.Key(), c.Throughput.Mean)
 		}
 	}
 

@@ -66,11 +66,18 @@ type Event struct {
 func (e *Event) Size() int { return len(e.Packets) }
 
 // Feedback is everything a device can hear about a slot: silence, and
-// any decoding event.  Devices cannot tell good slots from bad ones.
+// any decoding event.  On the coded channel devices cannot tell good
+// slots from bad ones, so Collision is never set there; a classical
+// medium with ternary collision detection sets it when a busy slot
+// carried no decodable transmission (see internal/medium).
 type Feedback struct {
 	Slot   int64
 	Silent bool
 	Event  *Event // nil if no decoding event occurred at this slot
+	// Collision reports that the slot was audibly a collision.  Only
+	// media whose feedback model can distinguish collisions from
+	// successes (classical ternary CD) ever set it.
+	Collision bool
 }
 
 // Stats aggregates channel-level counters over an execution.
@@ -166,27 +173,11 @@ func (c *Channel) AddSilent(n int64) {
 // returns the slot class and the decoding event, if one fired.  Slots
 // must be fed in increasing time order.  Step panics if txs contains a
 // duplicate ID (one device cannot send two packets at once).
-func (c *Channel) Step(now int64, txs []PacketID) (SlotClass, *Event) {
-	return c.StepJammed(now, txs, false)
-}
-
-// StepJammed is Step with an adversarial jammer: when jammed is true,
-// noise energy occupies the slot.  A jammed slot is never silent (devices
-// hear the energy) and never good (the noise corrupts the superposition
-// beyond what the decoder can use), so it classifies as Bad even with
-// zero or few real transmitters.  Like any bad slot it contributes
-// nothing to decoding windows but does not break them.
 //
-// Jamming is not part of the paper's model; it probes the model's
-// reliance on the silence signal (see experiment E13 and the robustness
-// literature the paper cites, e.g. Awerbuch–Richa–Scheideler).
-func (c *Channel) StepJammed(now int64, txs []PacketID, jammed bool) (SlotClass, *Event) {
-	if jammed {
-		c.checkDuplicates(txs)
-		c.stats.BadSlots++
-		c.stats.JammedSlots++
-		return Bad, nil
-	}
+// Jamming is not the channel's concern: adversarial slot-spoiling lives
+// in the medium layer (internal/medium.Jam), which composes a jammer
+// over any medium and never forwards spoiled slots here.
+func (c *Channel) Step(now int64, txs []PacketID) (SlotClass, *Event) {
 	switch {
 	case len(txs) == 0:
 		c.stats.SilentSlots++
@@ -348,6 +339,19 @@ func (c *Channel) reset() {
 	}
 	c.entries = c.entries[:0]
 	c.firstAbs = 0
+}
+
+// Reset returns the channel to its initial state: the detector forgets
+// all pending broadcast information and every counter is zeroed, as if
+// freshly constructed with the same kappa and maxWindow.  It lets one
+// channel be reused across runs without reallocation.
+func (c *Channel) Reset() {
+	c.reset()
+	c.stats = Stats{}
+	c.prevTxs = c.prevTxs[:0]
+	// seen entries are generation-stamped; bumping the generation
+	// invalidates them all without touching the map.
+	c.seenGen++
 }
 
 // PendingGoodSlots returns the number of good slots currently tracked

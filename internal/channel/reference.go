@@ -12,6 +12,14 @@ type Reference struct {
 
 	// history of slots since the last decoding event
 	slots []refSlot
+
+	// lastGood is each packet's most recent good-slot broadcast since the
+	// last decoding event; it exists only to mirror the incremental
+	// detector's prune accounting, stated directly from the definition: a
+	// packet is pruned at the first good slot whose window cap excludes
+	// the packet's most recent broadcast.
+	lastGood map[PacketID]int64
+	pruned   int64
 }
 
 type refSlot struct {
@@ -26,8 +34,13 @@ func NewReference(kappa, maxWindow int) *Reference {
 	if kappa < 1 {
 		panic("channel: kappa must be at least 1")
 	}
-	return &Reference{kappa: kappa, maxWindow: maxWindow}
+	return &Reference{kappa: kappa, maxWindow: maxWindow, lastGood: make(map[PacketID]int64)}
 }
+
+// Pruned returns the number of packets whose pending broadcast
+// information has been discarded by the window-length cap, mirroring
+// Stats.PrunedPackets of the incremental detector.
+func (r *Reference) Pruned() int64 { return r.pruned }
 
 // Step processes one slot exactly as Channel.Step does, via literal
 // translation of Definition 1.
@@ -44,6 +57,23 @@ func (r *Reference) Step(now int64, txs []PacketID) (SlotClass, *Event) {
 	cp := make([]PacketID, len(txs))
 	copy(cp, txs)
 	r.slots = append(r.slots, refSlot{time: now, class: class, txs: cp})
+	if class == Good {
+		// Prune accounting (only good slots advance the cap, as in the
+		// incremental detector): a packet whose most recent broadcast can
+		// no longer appear in any window ending at or after now is gone.
+		if r.maxWindow > 0 {
+			minStart := now - int64(r.maxWindow) + 1
+			for id, slot := range r.lastGood {
+				if slot < minStart {
+					delete(r.lastGood, id)
+					r.pruned++
+				}
+			}
+		}
+		for _, id := range txs {
+			r.lastGood[id] = now
+		}
+	}
 
 	// Try every window (start, now] that begins with a good slot; Def. 1
 	// condition (4): the event fires the first time any window is valid,
@@ -83,6 +113,7 @@ func (r *Reference) Step(now int64, txs []PacketID) (SlotClass, *Event) {
 	}
 	if best != nil {
 		r.slots = r.slots[:0] // windows are disjoint
+		clear(r.lastGood)
 	}
 	return class, best
 }

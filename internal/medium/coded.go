@@ -1,0 +1,53 @@
+package medium
+
+import "repro/internal/channel"
+
+// Coded is the Coded Radio Network Model of the paper behind the Medium
+// interface: a base station that decodes up to κ simultaneous
+// transmissions, with decoding events per Definition 1.  Devices hear
+// silence and decoding events; they cannot tell good slots from bad
+// ones, so Feedback never sets Collision.
+type Coded struct {
+	ch   *channel.Channel
+	last channel.Feedback
+}
+
+var _ Medium = (*Coded)(nil)
+
+// NewCoded returns the coded medium with decoding threshold kappa and
+// decoding-window length cap maxWindow (0 = unbounded), mirroring
+// channel.New.
+func NewCoded(kappa, maxWindow int) *Coded {
+	return &Coded{ch: channel.New(kappa, maxWindow)}
+}
+
+// Channel exposes the underlying detector for tests and diagnostics.
+func (c *Coded) Channel() *channel.Channel { return c.ch }
+
+// Name implements Medium.
+func (c *Coded) Name() string { return "coded" }
+
+// Kappa implements Medium.
+func (c *Coded) Kappa() int { return c.ch.Kappa() }
+
+// Step implements Medium.
+func (c *Coded) Step(now int64, txs []channel.PacketID) (channel.SlotClass, *channel.Event) {
+	class, ev := c.ch.Step(now, txs)
+	c.last = channel.Feedback{Slot: now, Silent: class == channel.Silent, Event: ev}
+	return class, ev
+}
+
+// Feedback implements Medium.
+func (c *Coded) Feedback(fb *channel.Feedback) { *fb = c.last }
+
+// AddSilent implements Medium.
+func (c *Coded) AddSilent(n int64) { c.ch.AddSilent(n) }
+
+// Stats implements Medium.
+func (c *Coded) Stats() channel.Stats { return c.ch.Stats() }
+
+// Reset implements Medium.
+func (c *Coded) Reset() {
+	c.ch.Reset()
+	c.last = channel.Feedback{}
+}

@@ -1,0 +1,112 @@
+package medium
+
+import (
+	"repro/internal/channel"
+	"repro/internal/jam"
+	"repro/internal/rng"
+)
+
+// Jammed composes an adversarial jammer over an inner medium: a jammed
+// slot is spoiled before the inner medium ever sees it.  A jammed slot
+// is audibly busy (never silent) and decode-useless (never good), so it
+// classifies as Bad regardless of the real transmitters; like any bad
+// slot it does not break the inner detector's decoding windows, because
+// the inner medium is simply not stepped.
+//
+// Jam decisions are keyed to the slot number: the jammer's rng stream is
+// reseeded from (seed, slot) for every slot, so a decision depends only
+// on the slot being asked about, never on how many slots were stepped
+// before it.  That keeps jammer randomness aligned when the engine
+// fast-forwards through idle stretches — a run takes the same jam
+// pattern whether or not slots in between were skipped.  (Fast-forwarded
+// stretches themselves are never consulted: an empty system ignores
+// noise, so they stay accounted as silent.)
+type Jammed struct {
+	inner  Medium
+	jammer jam.Jammer
+	seed   uint64
+	r      rng.Rand
+	dup    dupCheck
+
+	jammed     int64
+	lastJammed bool
+	last       channel.Feedback
+
+	// collisionOnJam: to a device with ternary collision detection,
+	// jamming energy is indistinguishable from a collision.
+	collisionOnJam bool
+}
+
+var _ Medium = (*Jammed)(nil)
+
+// Jam wraps inner with the given jammer, seeding the jammer's
+// slot-keyed randomness from seed.  A nil jammer returns inner
+// unchanged.
+func Jam(inner Medium, j jam.Jammer, seed uint64) Medium {
+	if j == nil {
+		return inner
+	}
+	cl, ok := inner.(*Classical)
+	return &Jammed{
+		inner:          inner,
+		jammer:         j,
+		seed:           seed,
+		collisionOnJam: ok && cl.cd == CDTernary,
+	}
+}
+
+// Name implements Medium.
+func (m *Jammed) Name() string { return m.inner.Name() + "+jam:" + m.jammer.Name() }
+
+// Kappa implements Medium.
+func (m *Jammed) Kappa() int { return m.inner.Kappa() }
+
+// Step implements Medium.
+func (m *Jammed) Step(now int64, txs []channel.PacketID) (channel.SlotClass, *channel.Event) {
+	// Slot-keyed reseed: SplitMix64 expansion decorrelates consecutive
+	// slots, and the golden-ratio stride keeps seed^f(now) injective per
+	// seed.
+	m.r.Seed(m.seed ^ uint64(now)*0x9e3779b97f4a7c15)
+	if m.jammer.Jammed(now, &m.r) {
+		// The inner detector never sees this slot, so enforce its
+		// duplicate-transmitter invariant here: a protocol bug must not
+		// hide behind the noise.
+		m.dup.check(txs)
+		m.jammed++
+		m.lastJammed = true
+		m.last = channel.Feedback{Slot: now, Collision: m.collisionOnJam}
+		return channel.Bad, nil
+	}
+	m.lastJammed = false
+	return m.inner.Step(now, txs)
+}
+
+// Feedback implements Medium.
+func (m *Jammed) Feedback(fb *channel.Feedback) {
+	if m.lastJammed {
+		*fb = m.last
+		return
+	}
+	m.inner.Feedback(fb)
+}
+
+// AddSilent implements Medium.
+func (m *Jammed) AddSilent(n int64) { m.inner.AddSilent(n) }
+
+// Stats implements Medium: the inner medium's counters plus the spoiled
+// slots, which count as bad (and jammed) exactly as the engine's old
+// inline accounting did.
+func (m *Jammed) Stats() channel.Stats {
+	st := m.inner.Stats()
+	st.BadSlots += m.jammed
+	st.JammedSlots += m.jammed
+	return st
+}
+
+// Reset implements Medium.
+func (m *Jammed) Reset() {
+	m.inner.Reset()
+	m.jammed = 0
+	m.lastJammed = false
+	m.last = channel.Feedback{}
+}

@@ -1,0 +1,133 @@
+// Package medium abstracts the channel a simulation runs on.  The paper
+// studies the Coded Radio Network Model, where a base station decodes up
+// to κ simultaneous transmissions; the classical contention-resolution
+// literature (e.g. Jiang–Zheng 2021, Chen–Jiang–Zheng 2021) studies the
+// collision channel, with or without collision detection.  A Medium is
+// the base-station side of any such model: the engine drives it slot by
+// slot and forwards its feedback to the protocol, so every protocol can
+// be run on every channel model and compared in one artifact.
+//
+// Three implementations ship:
+//
+//   - Coded — the κ-threshold decoding channel of the paper
+//     (internal/channel behind the interface);
+//   - Classical — the collision channel (κ = 1 semantics) with
+//     selectable collision-detection feedback: none, binary carrier
+//     sensing, or ternary collision detection;
+//   - Jam — a wrapper composing an adversarial jammer over any medium,
+//     spoiling slots before the inner medium sees them.
+//
+// The per-slot contract is allocation-free: Step reuses its event
+// storage and Feedback fills a caller-owned struct, so the engine's hot
+// loop performs no interface-driven allocation.
+package medium
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+)
+
+// Medium is the base-station side of a channel model.  The engine
+// calls, per simulated slot, Step with the transmitting packets and
+// then Feedback to collect what devices hear; AddSilent accounts
+// fast-forwarded provably idle stretches.
+//
+// Media are stateful and not safe for concurrent use; construct one per
+// run (or Reset between runs).
+type Medium interface {
+	// Name identifies the channel model in reports and artifacts.
+	Name() string
+
+	// Kappa is the decoding threshold: the paper's κ for the coded
+	// channel, 1 for the classical collision channel.
+	Kappa() int
+
+	// Step processes one slot in which the given packets broadcast,
+	// returning the slot class and the decoding event, if one fired.
+	// Slots must be fed in increasing time order.  The returned Event
+	// (and its Packets slice) is only valid until the next Step call;
+	// callers that need it longer must copy it.
+	Step(now int64, txs []channel.PacketID) (channel.SlotClass, *channel.Event)
+
+	// Feedback fills fb with what devices hear about the most recently
+	// stepped slot.  The caller owns fb and reuses it across slots; the
+	// medium must overwrite every field.  What devices hear is the
+	// model's defining choice: coded devices hear silence and decoding
+	// events only, classical devices hear whatever their
+	// collision-detection capability exposes.
+	Feedback(fb *channel.Feedback)
+
+	// AddSilent accounts n slots that the engine fast-forwarded through
+	// because they were provably silent.  Silent slots never change
+	// detector state, so only counters move.
+	AddSilent(n int64)
+
+	// Stats returns a copy of the accumulated slot and event counters.
+	Stats() channel.Stats
+
+	// Reset returns the medium to its initial state (detector state and
+	// counters), allowing reuse across runs without reallocation.
+	Reset()
+}
+
+// Models lists the known channel-model descriptors in canonical order.
+// "classical" is shorthand for "classical:ternary", the strongest
+// feedback variant.  Note the information ordering documented on CD:
+// because successes are acknowledged, classical:binary and
+// classical:ternary are information-equivalent (sweeping both is
+// redundant); the axis that changes protocol-visible information is
+// none vs the other two.
+var Models = []string{"coded", "classical", "classical:none", "classical:binary", "classical:ternary"}
+
+// dupCheck validates that a transmitter list names distinct packets
+// (one device cannot send two packets at once), mirroring the coded
+// detector's invariant on slots the inner detector never sees.  The
+// quadratic scan covers common small slots; the generation-stamped map
+// handles large ones without per-slot clearing.
+type dupCheck struct {
+	seen map[channel.PacketID]uint64
+	gen  uint64
+}
+
+func (d *dupCheck) check(txs []channel.PacketID) {
+	if len(txs) < 2 {
+		return
+	}
+	if len(txs) <= 32 {
+		for i := 1; i < len(txs); i++ {
+			for j := 0; j < i; j++ {
+				if txs[i] == txs[j] {
+					panic(fmt.Sprintf("medium: packet %d transmitted twice in one slot", txs[i]))
+				}
+			}
+		}
+		return
+	}
+	if d.seen == nil {
+		d.seen = make(map[channel.PacketID]uint64)
+	}
+	d.gen++
+	for _, id := range txs {
+		if d.seen[id] == d.gen {
+			panic(fmt.Sprintf("medium: packet %d transmitted twice in one slot", id))
+		}
+		d.seen[id] = d.gen
+	}
+}
+
+// New constructs a medium from a model descriptor.  kappa and maxWindow
+// parametrize the coded model and are ignored by classical ones.
+func New(desc string, kappa, maxWindow int) (Medium, error) {
+	switch desc {
+	case "", "coded":
+		return NewCoded(kappa, maxWindow), nil
+	case "classical", "classical:ternary":
+		return NewClassical(CDTernary), nil
+	case "classical:binary":
+		return NewClassical(CDBinary), nil
+	case "classical:none":
+		return NewClassical(CDNone), nil
+	}
+	return nil, fmt.Errorf("medium: unknown channel model %q (want coded, classical, classical:none, classical:binary, or classical:ternary)", desc)
+}

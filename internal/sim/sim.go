@@ -1,7 +1,9 @@
 // Package sim is the discrete-round simulation engine: it wires an
-// arrival process, a contention-resolution protocol, and a Coded Radio
-// Network channel together, slot by slot, and collects the measurements
-// the experiments report (backlog, latency, throughput, slot classes).
+// arrival process, a contention-resolution protocol, and a channel
+// medium together, slot by slot, and collects the measurements the
+// experiments report (backlog, latency, throughput, slot classes).  The
+// medium defaults to the Coded Radio Network Model; Config.Medium swaps
+// in any other channel model (see internal/medium).
 //
 // The engine fast-forwards through provably idle stretches (no pending
 // packets and no arrivals, or — for protocols that declare their next
@@ -16,6 +18,7 @@ import (
 	"repro/internal/arrival"
 	"repro/internal/channel"
 	"repro/internal/jam"
+	"repro/internal/medium"
 	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -23,7 +26,8 @@ import (
 
 // Config parametrizes one simulation run.
 type Config struct {
-	// Kappa is the channel's decoding threshold (≥ 1).
+	// Kappa is the channel's decoding threshold (≥ 1).  Ignored when
+	// Medium is set (the medium knows its own threshold).
 	Kappa int
 	// MaxWindow caps decoding-window length; 0 selects the default 4κ
 	// (the paper shows O(κ) windows suffice).  Use NoWindowCap for an
@@ -49,10 +53,18 @@ type Config struct {
 	// Costs O(total arrivals) memory.
 	TrackLatency bool
 	// Jammer optionally spoils slots with noise (failure injection; see
-	// package jam).  Jammed slots are audibly busy and decode-useless.
-	// Fast-forwarded idle stretches are not consulted for jamming (an
-	// empty system ignores noise), so jammer randomness stays aligned.
+	// package jam).  The engine composes it over the medium via
+	// medium.Jam: jammed slots are audibly busy and decode-useless, and
+	// jam decisions are slot-keyed, so they are identical whether or not
+	// idle stretches in between were fast-forwarded.  (Fast-forwarded
+	// stretches themselves are not consulted for jamming: an empty
+	// system ignores noise.)
 	Jammer jam.Jammer
+	// Medium selects the channel model the run uses; nil selects the
+	// coded κ-threshold channel built from Kappa and MaxWindow.  Media
+	// are stateful: construct one per run, never share across
+	// concurrent runs.  See internal/medium for the implementations.
+	Medium medium.Medium
 }
 
 // NoWindowCap disables the decoding-window length cap.
@@ -73,6 +85,7 @@ func (c *Config) maxWindow() int {
 type Result struct {
 	Protocol string
 	Arrival  string
+	Medium   string // channel-model name, e.g. "coded" or "classical:ternary"
 	Kappa    int
 	Horizon  int64
 
@@ -136,17 +149,24 @@ func (r *Result) SegmentMeanBacklog(from, to float64) float64 {
 	return sum / float64(n)
 }
 
+// jamSeedSalt decorrelates the jammer's slot-keyed randomness from the
+// arrival stream, which uses Config.Seed directly.
+const jamSeedSalt = 0x4a4d // "JM"
+
 // Run simulates one execution.
 func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
-	if cfg.Kappa < 1 {
+	if cfg.Medium == nil && cfg.Kappa < 1 {
 		panic("sim: Kappa must be at least 1")
 	}
 	if cfg.Horizon < 0 {
 		panic("sim: negative horizon")
 	}
-	ch := channel.New(cfg.Kappa, cfg.maxWindow())
+	m := cfg.Medium
+	if m == nil {
+		m = medium.NewCoded(cfg.Kappa, cfg.maxWindow())
+	}
+	m = medium.Jam(m, cfg.Jammer, cfg.Seed^jamSeedSalt)
 	r := rng.New(cfg.Seed)
-	jamRand := rng.New(cfg.Seed ^ 0x4a4d)
 	seriesCap := cfg.SeriesCap
 	if seriesCap == 0 {
 		seriesCap = 2048
@@ -154,7 +174,8 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 	res := &Result{
 		Protocol:      proto.Name(),
 		Arrival:       arr.Name(),
-		Kappa:         cfg.Kappa,
+		Medium:        m.Name(),
+		Kappa:         m.Kappa(),
 		Horizon:       cfg.Horizon,
 		FirstArrival:  -1,
 		LastDelivery:  -1,
@@ -180,6 +201,7 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 	var injectSlot []int64 // inject time by PacketID, for latency
 	idBuf := make([]channel.PacketID, 0, 64)
 	txBuf := make([]channel.PacketID, 0, 64)
+	var fb channel.Feedback // reused across slots; the medium fills it
 
 	for now := int64(0); ; {
 		if now >= end {
@@ -207,9 +229,8 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 		}
 		// One channel slot.
 		txBuf = proto.Transmitters(now, txBuf[:0])
-		jammed := cfg.Jammer != nil && cfg.Jammer.Jammed(now, jamRand)
-		class, ev := ch.StepJammed(now, txBuf, jammed)
-		fb := channel.Feedback{Slot: now, Silent: class == channel.Silent, Event: ev}
+		_, ev := m.Step(now, txBuf)
+		m.Feedback(&fb)
 		proto.Observe(fb)
 		if hasObserver {
 			observer.ObserveSlot(fb)
@@ -241,7 +262,7 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 			if na < 0 {
 				// Nothing pending and no arrivals will ever come.
 				res.Elapsed = now + 1
-				return finish(res, ch, proto)
+				return finish(res, m, proto)
 			}
 			next = na
 		} else if hasWaker {
@@ -264,22 +285,22 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 			next = end + drainLimit
 		}
 		if skipped := next - (now + 1); skipped > 0 {
-			ch.AddSilent(skipped)
+			m.AddSilent(skipped)
 		}
 		now = next
 	}
-	return finish(res, ch, proto)
+	return finish(res, m, proto)
 }
 
-func finish(res *Result, ch *channel.Channel, proto protocol.Protocol) *Result {
+func finish(res *Result, m medium.Medium, proto protocol.Protocol) *Result {
 	res.Pending = proto.Pending()
-	res.Channel = ch.Stats()
+	res.Channel = m.Stats()
 	return res
 }
 
 // String summarizes the result in one line.
 func (r *Result) String() string {
-	return fmt.Sprintf("%s/%s κ=%d: arrivals=%d delivered=%d pending=%d maxBacklog=%d thpt=%.3f",
-		r.Protocol, r.Arrival, r.Kappa, r.Arrivals, r.Delivered, r.Pending,
+	return fmt.Sprintf("%s/%s on %s κ=%d: arrivals=%d delivered=%d pending=%d maxBacklog=%d thpt=%.3f",
+		r.Protocol, r.Arrival, r.Medium, r.Kappa, r.Arrivals, r.Delivered, r.Pending,
 		r.MaxBacklog, r.CompletionThroughput())
 }

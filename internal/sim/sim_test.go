@@ -359,25 +359,36 @@ func TestJammedRunConservation(t *testing.T) {
 	}
 }
 
-func TestJammedSlotsNeverGood(t *testing.T) {
-	ch := channel.New(4, 0)
-	class, ev := ch.StepJammed(0, []channel.PacketID{1}, true)
-	if class != channel.Bad || ev != nil {
-		t.Fatalf("jammed slot class %v ev %v", class, ev)
+// noWake hides a protocol's Waker implementation so the engine steps
+// every slot instead of fast-forwarding idle stretches.
+type noWake struct{ protocol.Protocol }
+
+func TestJammerAlignedAcrossFastForward(t *testing.T) {
+	// Jam decisions are slot-keyed, so a run must take the same jam
+	// pattern — and deliver the same packets at the same times — whether
+	// or not the engine fast-forwards through the protocol's idle
+	// stretches.  (Slot-class accounting is excluded: a fast-forwarded
+	// stretch is accounted silent by definition, while the stepped run
+	// consults the jammer on those empty slots.)
+	run := func(fastForward bool) *Result {
+		var proto protocol.Protocol = baseline.NewExponentialBackoff(rng.New(91))
+		if !fastForward {
+			proto = noWake{proto}
+		}
+		// A batch at slot 0 makes everything after it a drain: BEB sleeps
+		// between retries, so the fast run skips long stretches the slow
+		// run steps one by one.
+		return Run(Config{Kappa: 1, Horizon: 1, Drain: true, Seed: 92,
+			TrackLatency: true, Jammer: &jam.Random{Rate: 0.25}},
+			proto, &arrival.Batch{At: 0, N: 8})
 	}
-	// An empty jammed slot is audibly busy, not silent.
-	class, _ = ch.StepJammed(1, nil, true)
-	if class != channel.Bad {
-		t.Fatalf("empty jammed slot class %v, want Bad", class)
+	fast, slow := run(true), run(false)
+	if fast.Delivered == 0 {
+		t.Fatal("nothing delivered under jamming")
 	}
-	st := ch.Stats()
-	if st.JammedSlots != 2 || st.BadSlots != 2 || st.SilentSlots != 0 {
-		t.Fatalf("jam accounting wrong: %+v", st)
-	}
-	// The pair still decodes from clean slots afterwards.
-	ch.Step(2, []channel.PacketID{1, 2})
-	_, ev = ch.Step(3, []channel.PacketID{1, 2})
-	if ev == nil || ev.Size() != 2 {
-		t.Fatalf("clean window after jamming failed: %+v", ev)
+	if fast.Delivered != slow.Delivered || fast.Elapsed != slow.Elapsed ||
+		fast.MaxBacklog != slow.MaxBacklog ||
+		fast.Latency.Mean() != slow.Latency.Mean() {
+		t.Fatalf("jammer stream misaligned across fast-forwarding:\n  fast: %v\n  slow: %v", fast, slow)
 	}
 }

@@ -10,7 +10,8 @@ import (
 
 // TrialFunc builds and runs one independent trial from a seed, returning
 // its result.  Implementations must construct a fresh protocol, arrival
-// process, and channel per call (they are stateful).
+// process, and channel medium per call (they are stateful; a Medium may
+// only be shared across trials after Reset, never concurrently).
 type TrialFunc func(trial int, seed uint64) *Result
 
 // RunTrials executes n independent trials, fanning them out over up to

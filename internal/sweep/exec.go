@@ -9,6 +9,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/jam"
+	"repro/internal/medium"
 	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -109,6 +110,21 @@ func parseJammer(desc string) (jam.Jammer, error) {
 	return nil, fmt.Errorf("sweep: unknown jammer %q (want none, random:RATE, or periodic:PERIOD/BURST)", desc)
 }
 
+// buildMedium constructs the scenario's channel medium.  The coded
+// model returns nil, selecting the engine's default construction from
+// Kappa/MaxWindow; classical models are built fresh per trial (media
+// are stateful).
+func buildMedium(sc Scenario) medium.Medium {
+	if !isClassical(sc.Model) {
+		return nil
+	}
+	m, err := medium.New(sc.Model, sc.Kappa, 0)
+	if err != nil {
+		panic(err) // Validate rejects unknown models
+	}
+	return m
+}
+
 // config builds the engine configuration for one trial of a cell.
 func (s *Spec) config(sc Scenario, seed uint64) sim.Config {
 	jammer, err := parseJammer(sc.Jammer)
@@ -124,5 +140,6 @@ func (s *Spec) config(sc Scenario, seed uint64) sim.Config {
 		Seed:         seed,
 		TrackLatency: true,
 		Jammer:       jammer,
+		Medium:       buildMedium(sc),
 	}
 }

@@ -1,37 +1,59 @@
 // Package sweep runs declarative scenario grids: a Spec names the
-// cross-product of protocols × arrival processes × decoding thresholds ×
-// rates × jammers it wants explored, and Run executes every cell's
-// trials in parallel, aggregating per-cell summaries into a Grid that
-// serializes to deterministic JSON and CSV.  Same spec + same seed ⇒
-// byte-identical artifacts, regardless of parallelism — sweep outputs
-// are diffable across commits.
+// cross-product of channel models × protocols × arrival processes ×
+// decoding thresholds × rates × jammers it wants explored, and Run
+// executes every cell's trials in parallel, aggregating per-cell
+// summaries into a Grid that serializes to deterministic JSON and CSV.
+// Same spec + same seed ⇒ byte-identical artifacts, regardless of
+// parallelism — sweep outputs are diffable across commits.
+//
+// The model axis makes cross-channel comparisons one artifact: the same
+// grid can run Decodable Backoff on the coded channel next to
+// BEB/ALOHA/MW on the classical collision channel (with selectable
+// collision-detection feedback), which is exactly the comparison the
+// paper's headline throughput claim is about.
 package sweep
 
 import (
 	"encoding/json"
 	"fmt"
 	"strings"
+
+	"repro/internal/medium"
 )
 
-// Protocol and arrival kinds a Spec may name.
+// Model, protocol, and arrival kinds a Spec may name.
 var (
+	// Models lists the known channel-model descriptors in canonical
+	// order (see internal/medium).
+	Models = medium.Models
 	// Protocols lists the known protocol kinds in canonical order.
 	Protocols = []string{"dba", "beb", "aloha", "genie", "mw"}
 	// Arrivals lists the known arrival kinds in canonical order.
 	Arrivals = []string{"batch", "bernoulli", "poisson", "even", "burst"}
 )
 
-// Spec declares a scenario grid.  Every combination of one protocol, one
-// arrival kind, one κ, one rate, and one jammer is a cell; each cell
-// runs Trials independent trials.  The rate axis has a uniform "offered
-// load" meaning across arrival kinds: it is the per-slot probability
-// (bernoulli), intensity (poisson), pace (even), window-fill fraction
-// (burst: rate×BurstWindow packets per window), or horizon-fill fraction
-// (batch: rate×Horizon packets at slot 0, unless BatchN overrides).
+// Spec declares a scenario grid.  Every combination of one channel
+// model, one protocol, one arrival kind, one κ, one rate, and one
+// jammer is a cell; each cell runs Trials independent trials.  The rate
+// axis has a uniform "offered load" meaning across arrival kinds: it is
+// the per-slot probability (bernoulli), intensity (poisson), pace
+// (even), window-fill fraction (burst: rate×BurstWindow packets per
+// window), or horizon-fill fraction (batch: rate×Horizon packets at
+// slot 0, unless BatchN overrides).
+//
+// Two combinations are skipped during expansion rather than rejected,
+// so one grid can mix channel models freely: dba pairs only with the
+// coded model (the algorithm is defined for κ ≥ 6), and classical
+// models collapse the κ axis to the single value 1 (the collision
+// channel has no threshold to sweep).
 type Spec struct {
 	// Name labels the sweep in artifacts (optional).
 	Name string `json:"name,omitempty"`
 
+	// Models ⊆ {coded, classical, classical:none, classical:binary,
+	// classical:ternary}.  Empty means {"coded"}; "classical" is
+	// shorthand for "classical:ternary".
+	Models []string `json:"models,omitempty"`
 	// Protocols ⊆ {dba, beb, aloha, genie, mw}.
 	Protocols []string `json:"protocols"`
 	// Arrivals ⊆ {batch, bernoulli, poisson, even, burst}.
@@ -67,6 +89,7 @@ type Spec struct {
 
 // Scenario is one concrete cell of the expanded grid.
 type Scenario struct {
+	Model    string  `json:"model"`
 	Protocol string  `json:"protocol"`
 	Arrival  string  `json:"arrival"`
 	Kappa    int     `json:"kappa"`
@@ -76,8 +99,8 @@ type Scenario struct {
 
 // Key renders the cell coordinates compactly for tables and logs.
 func (s Scenario) Key() string {
-	return fmt.Sprintf("%s/%s/k=%d/rate=%g/jam=%s",
-		s.Protocol, s.Arrival, s.Kappa, s.Rate, s.Jammer)
+	return fmt.Sprintf("%s/%s/%s/k=%d/rate=%g/jam=%s",
+		s.Model, s.Protocol, s.Arrival, s.Kappa, s.Rate, s.Jammer)
 }
 
 func contains(set []string, s string) bool {
@@ -89,9 +112,25 @@ func contains(set []string, s string) bool {
 	return false
 }
 
-// Validate checks the spec and normalizes defaults (empty Jammers
-// becomes {"none"}).  It returns the first problem found.
+// isClassical reports whether the model descriptor names a classical
+// collision-channel variant.
+func isClassical(model string) bool { return strings.HasPrefix(model, "classical") }
+
+// Validate checks the spec and normalizes defaults (empty Models
+// becomes {"coded"}, empty Jammers becomes {"none"}).  It returns the
+// first problem found.
 func (s *Spec) Validate() error {
+	if len(s.Models) == 0 {
+		s.Models = []string{"coded"}
+	}
+	hasCoded := false
+	for _, m := range s.Models {
+		if !contains(Models, m) {
+			return fmt.Errorf("sweep: unknown model %q (want one of %s)",
+				m, strings.Join(Models, ", "))
+		}
+		hasCoded = hasCoded || !isClassical(m)
+	}
 	if len(s.Protocols) == 0 {
 		return fmt.Errorf("sweep: no protocols")
 	}
@@ -117,9 +156,12 @@ func (s *Spec) Validate() error {
 		if k < 1 {
 			return fmt.Errorf("sweep: kappa %d < 1", k)
 		}
-		if k < 6 && contains(s.Protocols, "dba") {
+		if k < 6 && contains(s.Protocols, "dba") && hasCoded {
 			return fmt.Errorf("sweep: kappa %d < 6 but dba is swept (the analysis needs κ ≥ 6)", k)
 		}
+	}
+	if !hasCoded && len(s.Protocols) == 1 && s.Protocols[0] == "dba" {
+		return fmt.Errorf("sweep: dba pairs only with the coded model, but no coded model is swept")
 	}
 	if len(s.Rates) == 0 {
 		return fmt.Errorf("sweep: no rates")
@@ -162,31 +204,46 @@ func (s *Spec) Validate() error {
 }
 
 // Cells returns the number of cells the spec expands to.
-func (s *Spec) Cells() int {
-	jam := len(s.Jammers)
-	if jam == 0 {
-		jam = 1
-	}
-	return len(s.Protocols) * len(s.Arrivals) * len(s.Kappas) * len(s.Rates) * jam
-}
+func (s *Spec) Cells() int { return len(s.Expand()) }
 
-// Expand enumerates the grid's cells in canonical nesting order
-// (protocol, then arrival, then κ, then rate, then jammer).  The order
-// is part of the artifact contract: cell seeds are assigned along it.
+// classicalKappas is the collapsed κ axis for classical models: the
+// collision channel decodes one transmission per slot, threshold 1.
+var classicalKappas = []int{1}
+
+// Expand enumerates the grid's cells in canonical nesting order (model,
+// then protocol, then arrival, then κ, then rate, then jammer).  The
+// order is part of the artifact contract: cell seeds are assigned along
+// it.  Two skip rules keep mixed-model grids runnable: dba cells exist
+// only under coded models, and classical models collapse the κ axis to
+// {1}.
 func (s *Spec) Expand() []Scenario {
+	models := s.Models
+	if len(models) == 0 {
+		models = []string{"coded"}
+	}
 	jammers := s.Jammers
 	if len(jammers) == 0 {
 		jammers = []string{"none"}
 	}
-	cells := make([]Scenario, 0, s.Cells())
-	for _, p := range s.Protocols {
-		for _, a := range s.Arrivals {
-			for _, k := range s.Kappas {
-				for _, r := range s.Rates {
-					for _, j := range jammers {
-						cells = append(cells, Scenario{
-							Protocol: p, Arrival: a, Kappa: k, Rate: r, Jammer: j,
-						})
+	var cells []Scenario
+	for _, m := range models {
+		kappas := s.Kappas
+		classical := isClassical(m)
+		if classical {
+			kappas = classicalKappas
+		}
+		for _, p := range s.Protocols {
+			if classical && p == "dba" {
+				continue // dba is defined for the coded channel (κ ≥ 6)
+			}
+			for _, a := range s.Arrivals {
+				for _, k := range kappas {
+					for _, r := range s.Rates {
+						for _, j := range jammers {
+							cells = append(cells, Scenario{
+								Model: m, Protocol: p, Arrival: a, Kappa: k, Rate: r, Jammer: j,
+							})
+						}
 					}
 				}
 			}

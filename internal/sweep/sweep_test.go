@@ -29,20 +29,63 @@ func TestExpandOrderAndCount(t *testing.T) {
 	if len(cells) != s.Cells() || len(cells) != 16 {
 		t.Fatalf("expanded %d cells, Cells()=%d, want 16", len(cells), s.Cells())
 	}
-	// Canonical nesting: protocol outermost, jammer innermost.
-	if cells[0].Key() != "dba/batch/k=8/rate=0.3/jam=none" {
+	// Canonical nesting: model outermost, jammer innermost.
+	if cells[0].Key() != "coded/dba/batch/k=8/rate=0.3/jam=none" {
 		t.Fatalf("first cell %q", cells[0].Key())
 	}
 	if cells[1].Rate != 0.6 || cells[2].Kappa != 16 {
 		t.Fatalf("nesting order wrong: %v %v", cells[1], cells[2])
 	}
-	if cells[15].Key() != "genie/bernoulli/k=16/rate=0.6/jam=none" {
+	if cells[15].Key() != "coded/genie/bernoulli/k=16/rate=0.6/jam=none" {
 		t.Fatalf("last cell %q", cells[15].Key())
+	}
+}
+
+func TestExpandMixedModels(t *testing.T) {
+	// dba pairs only with coded, and classical models collapse κ to 1.
+	s := smallSpec()
+	s.Models = []string{"coded", "classical:none"}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cells := s.Expand()
+	// coded: 2 protocols × 2 arrivals × 2 κ × 2 rates = 16;
+	// classical: genie only × 2 arrivals × 1 κ × 2 rates = 4.
+	if len(cells) != 20 {
+		t.Fatalf("expanded %d cells, want 20", len(cells))
+	}
+	for _, c := range cells {
+		if c.Model == "classical:none" {
+			if c.Protocol == "dba" {
+				t.Fatalf("dba expanded on classical: %s", c.Key())
+			}
+			if c.Kappa != 1 {
+				t.Fatalf("classical cell with κ=%d: %s", c.Kappa, c.Key())
+			}
+		}
+	}
+	if cells[16].Key() != "classical:none/genie/batch/k=1/rate=0.3/jam=none" {
+		t.Fatalf("first classical cell %q", cells[16].Key())
+	}
+}
+
+func TestValidateNormalizesModels(t *testing.T) {
+	s := smallSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Models) != 1 || s.Models[0] != "coded" {
+		t.Fatalf("models not normalized: %v", s.Models)
 	}
 }
 
 func TestValidateRejects(t *testing.T) {
 	cases := map[string]func(*Spec){
+		"bad model": func(s *Spec) { s.Models = []string{"quantum"} },
+		"dba classical only": func(s *Spec) {
+			s.Protocols = []string{"dba"}
+			s.Models = []string{"classical"}
+		},
 		"no protocols":    func(s *Spec) { s.Protocols = nil },
 		"bad protocol":    func(s *Spec) { s.Protocols = []string{"tdma"} },
 		"no arrivals":     func(s *Spec) { s.Arrivals = nil },
@@ -140,6 +183,63 @@ func TestRunDeterministicAcrossParallelism(t *testing.T) {
 	}
 	if !bytes.Equal(serial, render(1)) {
 		t.Fatal("rerun with the same seed diverged")
+	}
+}
+
+func TestRunMixedModelGrid(t *testing.T) {
+	// One spec mixing coded and classical cells — the cross-model
+	// comparison the medium layer exists for — must run every cell and
+	// stay byte-stable across parallelism.
+	s := Spec{
+		Name:      "mixed",
+		Models:    []string{"coded", "classical:ternary", "classical:none"},
+		Protocols: []string{"dba", "beb", "genie"},
+		Arrivals:  []string{"bernoulli"},
+		Kappas:    []int{8},
+		Rates:     []float64{0.3},
+		Trials:    2,
+		Horizon:   800,
+		Seed:      11,
+	}
+	grid, err := Run(s, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// coded: 3 protocols; each classical model: beb+genie.
+	if len(grid.Cells) != 7 {
+		t.Fatalf("%d cells, want 7", len(grid.Cells))
+	}
+	for _, c := range grid.Cells {
+		if c.Arrivals == 0 || c.Delivered == 0 {
+			t.Fatalf("%s: nothing happened (arrivals=%d delivered=%d)",
+				c.Key(), c.Arrivals, c.Delivered)
+		}
+		if c.Arrivals != c.Delivered+c.Pending {
+			t.Fatalf("%s: conservation violated", c.Key())
+		}
+	}
+	a, _ := grid.JSON()
+	par, err := Run(s, Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := par.JSON()
+	if !bytes.Equal(a, b) {
+		t.Fatal("mixed-model artifact not byte-stable across parallelism")
+	}
+	// The classical collision channel is capped well below the coded
+	// channel's throughput at the same offered load; genie ALOHA caps
+	// near 1/e there, so its coded-channel (κ=8) run must beat its
+	// classical run on delivered slots per packet... assert the weaker,
+	// robust property: both variants delivered, and the artifact keys
+	// distinguish them.
+	keys := make(map[string]bool)
+	for _, c := range grid.Cells {
+		keys[c.Key()] = true
+	}
+	if !keys["coded/genie/bernoulli/k=8/rate=0.3/jam=none"] ||
+		!keys["classical:ternary/genie/bernoulli/k=1/rate=0.3/jam=none"] {
+		t.Fatalf("expected cross-model keys missing: %v", keys)
 	}
 }
 
