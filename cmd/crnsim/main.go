@@ -14,6 +14,7 @@
 //	crnsim -protocol dba -kappa 256 -arrival burst -window 16384 -rate 0.9
 //	crnsim -model classical:none -protocol beb -arrival batch -n 2000
 //	crnsim -model classical -protocol mw -arrival bernoulli -rate 0.2
+//	crnsim -protocol dba -arrival bernoulli -rate 0.5 -adversary reactive:8/64
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 	drain := flag.Bool("drain", true, "keep running after the horizon until the system empties")
 	seed := flag.Uint64("seed", 1, "random seed")
 	alohaP := flag.Float64("aloha-p", 0.001, "static ALOHA transmission probability (protocol=aloha)")
+	adversaryDesc := flag.String("adversary", "none", "adversary: none, random:RATE, burst:B/GAP, reactive:TRIGGER/BURST, sigmarho:SIGMA/RHO")
 	plot := flag.Bool("plot", true, "render the backlog time series")
 	tracePath := flag.String("trace", "", "write the backlog time series to this CSV file")
 	flag.Parse()
@@ -94,6 +96,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	adv, err := crn.ParseAdversary(*adversaryDesc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crnsim: %v\n", err)
+		os.Exit(2)
+	}
+	if crn.IsAdaptiveAdversary(adv) && med != nil && crn.MediumMasksSilence(med) {
+		fmt.Fprintf(os.Stderr, "crnsim: adversary %q reacts to channel feedback, but model %q masks silence; pick a model with channel sensing\n", *adversaryDesc, *model)
+		os.Exit(2)
+	}
+
 	res := crn.Run(crn.Config{
 		Kappa:        *kappa,
 		Horizon:      *horizon,
@@ -101,13 +113,14 @@ func main() {
 		Seed:         *seed + 1,
 		TrackLatency: true,
 		Medium:       med,
+		Adversary:    adv,
 	}, proto, arr)
 
 	fmt.Printf("protocol:   %s\n", res.Protocol)
 	fmt.Printf("arrivals:   %s (%d packets)\n", res.Arrival, res.Arrivals)
-	fmt.Printf("channel:    %s κ=%d  good=%d bad=%d silent=%d events=%d\n",
+	fmt.Printf("channel:    %s κ=%d  good=%d bad=%d silent=%d jammed=%d events=%d\n",
 		res.Medium, res.Kappa, res.Channel.GoodSlots, res.Channel.BadSlots,
-		res.Channel.SilentSlots, res.Channel.Events)
+		res.Channel.SilentSlots, res.Channel.JammedSlots, res.Channel.Events)
 	fmt.Printf("delivered:  %d (pending %d) in %d slots\n", res.Delivered, res.Pending, res.Elapsed)
 	fmt.Printf("throughput: %.4f (first arrival to last delivery)\n", res.CompletionThroughput())
 	fmt.Printf("backlog:    max %d\n", res.MaxBacklog)

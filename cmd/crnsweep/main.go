@@ -1,10 +1,10 @@
 // Command crnsweep runs a declarative scenario grid — the cross-product
 // of channel models × protocols × arrival processes × κ values × rates
-// × jammers, with several independent trials per cell — in parallel,
-// and emits per-cell aggregates as an aligned table, JSON, and/or CSV.
-// Artifacts are deterministic: the same spec and seed reproduce
-// byte-identical output at any parallelism, so sweep results are
-// diffable across commits.
+// × jammers × adversaries, with several independent trials per cell —
+// in parallel, and emits per-cell aggregates as an aligned table, JSON,
+// and/or CSV.  Artifacts are deterministic: the same spec and seed
+// reproduce byte-identical output at any parallelism — adaptive
+// adversaries included — so sweep results are diffable across commits.
 //
 // Usage:
 //
@@ -17,6 +17,7 @@
 //	crnsweep -models coded,classical -protocols dba,beb,mw  # cross-model comparison
 //	crnsweep -spec sweep.json -json - -quiet    # spec file, JSON to stdout
 //	crnsweep -jammers none,random:0.2 -csv out/sweep.csv
+//	crnsweep -adversaries none,reactive:8/64,sigmarho:500/0.2  # adversary grid
 //	crnsweep -bench BENCH_sweep.json            # diffable benchmark artifact
 package main
 
@@ -41,6 +42,7 @@ func main() {
 	kappas := flag.String("kappas", "8,64", "comma-separated decoding thresholds")
 	rates := flag.String("rates", "0.3,0.6", "comma-separated offered loads")
 	jammers := flag.String("jammers", "none", "comma-separated jammers: none, random:RATE, periodic:PERIOD/BURST")
+	adversaries := flag.String("adversaries", "none", "comma-separated adversaries: none, random:RATE, burst:B/GAP, reactive:TRIGGER/BURST, sigmarho:SIGMA/RHO")
 	trials := flag.Int("trials", 2, "independent trials per cell")
 	horizon := flag.Int64("horizon", 20000, "arrival horizon in slots")
 	noDrain := flag.Bool("no-drain", false, "stop at the horizon instead of draining")
@@ -66,18 +68,19 @@ func main() {
 		spec = *parsed
 	} else {
 		spec = sweep.Spec{
-			Name:      *name,
-			Models:    splitList(*models),
-			Protocols: splitList(*protocols),
-			Arrivals:  splitList(*arrivals),
-			Kappas:    parseInts(*kappas),
-			Rates:     parseFloats(*rates),
-			Jammers:   splitList(*jammers),
-			Trials:    *trials,
-			Horizon:   *horizon,
-			NoDrain:   *noDrain,
-			MaxWindow: *maxWindow,
-			Seed:      *seed,
+			Name:        *name,
+			Models:      splitList(*models),
+			Protocols:   splitList(*protocols),
+			Arrivals:    splitList(*arrivals),
+			Kappas:      parseInts(*kappas),
+			Rates:       parseFloats(*rates),
+			Jammers:     splitList(*jammers),
+			Adversaries: splitList(*adversaries),
+			Trials:      *trials,
+			Horizon:     *horizon,
+			NoDrain:     *noDrain,
+			MaxWindow:   *maxWindow,
+			Seed:        *seed,
 		}
 		if err := spec.Validate(); err != nil {
 			fatal(err)

@@ -1,6 +1,7 @@
 package crn
 
 import (
+	"repro/internal/adversary"
 	"repro/internal/arrival"
 	"repro/internal/baseline"
 	"repro/internal/channel"
@@ -181,8 +182,78 @@ func NewDisruptor(burstSize int) Arrivals {
 }
 
 // Jammer spoils slots with noise energy (failure injection beyond the
-// paper's model); see NewRandomJammer and NewPeriodicJammer.
+// paper's model); see NewRandomJammer and NewPeriodicJammer.  For
+// adaptive jammers and arrival adversaries, use Config.Adversary.
 type Jammer = jam.Jammer
+
+// Adversary is a first-class adversary: a process that hears per-slot
+// channel feedback and disrupts the run by jamming slots or injecting
+// packets.  Set Config.Adversary to compose one into a run; see
+// NewReactiveJammer, NewBurstJammer, NewSigmaRhoArrivals, and
+// ParseAdversary, or implement internal/adversary's interfaces.
+type Adversary = adversary.Adversary
+
+// ParseAdversary constructs an adversary from a descriptor: "none" (nil),
+// "random:RATE", "burst:B/GAP", "reactive:TRIGGER/BURST", or
+// "sigmarho:SIGMA/RHO".  Adversaries are stateful: parse a fresh one per
+// run.
+func ParseAdversary(desc string) (Adversary, error) { return adversary.Parse(desc) }
+
+// IsAdaptiveAdversary reports whether the adversary reacts to channel
+// feedback.  Adaptive adversaries need a medium whose feedback exposes
+// idle slots truthfully (see MediumMasksSilence); Run rejects
+// incompatible pairings.
+func IsAdaptiveAdversary(adv Adversary) bool {
+	_, ok := adv.(adversary.Adaptive)
+	return ok
+}
+
+// MediumMasksSilence reports whether the medium's feedback fails to
+// expose provably idle slots as silent — classical:none (no channel
+// sensing) and any jam-wrapped medium do.  Such media cannot host an
+// adaptive adversary.
+func MediumMasksSilence(m Medium) bool { return medium.MasksSilence(m) }
+
+// NewReactiveJammer returns the adaptive reactive jammer: it arms after
+// trigger consecutive audibly-busy, event-free slots (a decoding window
+// filling toward a decode) and then jams the next burst slots, stretching
+// the window toward the protocol's timeout.
+func NewReactiveJammer(trigger, burst int64) Adversary {
+	return adversary.NewReactive(trigger, burst)
+}
+
+// NewBurstJammer returns a duty-cycled jammer: burst jammed slots (≥ 1),
+// gap clean slots (≥ 0), repeating.
+func NewBurstJammer(burst, gap int64) Adversary {
+	return adversary.NewBurstGap(burst, gap)
+}
+
+// NewSigmaRhoArrivals returns the (σ,ρ)-bounded arrival adversary: at
+// most sigma + rho·t injections over any t-slot prefix, spent as early
+// as possible (σ packets at slot 0, a ρ-paced stream after).  As an
+// Adversary it merges with Config's arrival process; NewAdversaryArrivals
+// adapts it into a standalone Arrivals instead.
+func NewSigmaRhoArrivals(sigma int64, rho float64) Adversary {
+	return adversary.NewSigmaRho(sigma, rho)
+}
+
+// NewAdversaryArrivals adapts an arrival adversary — an Adversary that
+// injects packets, like NewSigmaRhoArrivals — into a standalone
+// Arrivals process, usable anywhere a benign process is (including
+// NewMergedArrivals).  The second result is false if adv does not
+// inject.
+func NewAdversaryArrivals(adv Adversary) (Arrivals, bool) {
+	inj, ok := adv.(adversary.Injector)
+	if !ok {
+		return nil, false
+	}
+	return adversary.Arrivals(inj), true
+}
+
+// NewMergedArrivals sums two arrival processes: packets from both arrive
+// on the shared channel, and channel feedback reaches both (so adaptive
+// processes stay adaptive under composition).
+func NewMergedArrivals(a, b Arrivals) Arrivals { return &arrival.Merge{A: a, B: b} }
 
 // NewRandomJammer jams each slot independently with the given rate.
 func NewRandomJammer(rate float64) Jammer { return &jam.Random{Rate: rate} }

@@ -163,3 +163,95 @@ func TestThroughputApproachesOne(t *testing.T) {
 		t.Fatalf("throughput at kappa=512 not near 1: %v", prev)
 	}
 }
+
+func TestAdversaryFacade(t *testing.T) {
+	// Every facade constructor must parse-roundtrip through
+	// ParseAdversary and compose into a run via Config.Adversary.
+	for desc, want := range map[string]string{
+		"reactive:4/32":   "reactive(4/32)",
+		"burst:50/450":    "burst(50/450)",
+		"random:0.2":      "random(0.200)",
+		"sigmarho:64/0.1": "sigmarho(64/0.100)",
+	} {
+		adv, err := ParseAdversary(desc)
+		if err != nil {
+			t.Fatalf("ParseAdversary(%q): %v", desc, err)
+		}
+		if adv.Name() != want {
+			t.Fatalf("ParseAdversary(%q).Name() = %q, want %q", desc, adv.Name(), want)
+		}
+	}
+	if adv, err := ParseAdversary("none"); err != nil || adv != nil {
+		t.Fatal("none should parse to nil")
+	}
+	if _, err := ParseAdversary("emp"); err == nil {
+		t.Fatal("bad descriptor accepted")
+	}
+
+	res := Run(Config{Kappa: 16, Horizon: 4000, Drain: true, Seed: 3,
+		Adversary: NewReactiveJammer(3, 32)},
+		NewDecodableBackoff(16, 4), NewBernoulli(0.5))
+	if res.Channel.JammedSlots == 0 {
+		t.Fatal("reactive jammer never fired under load")
+	}
+	if res.Arrivals != res.Delivered+int64(res.Pending) {
+		t.Fatal("conservation violated under the reactive jammer")
+	}
+
+	res = Run(Config{Kappa: 16, Horizon: 2000, Drain: true, Seed: 5,
+		Adversary: NewSigmaRhoArrivals(100, 0.1)},
+		NewDecodableBackoff(16, 6), NewBernoulli(0.2))
+	if res.MaxBacklog < 100 {
+		t.Fatalf("σ=100 burst never landed (max backlog %d)", res.MaxBacklog)
+	}
+
+	res = Run(Config{Kappa: 16, Horizon: 2000, Drain: true, Seed: 7,
+		Adversary: NewBurstJammer(100, 900)},
+		NewDecodableBackoff(16, 8), NewBernoulli(0.2))
+	if res.Channel.JammedSlots == 0 {
+		t.Fatal("burst jammer never fired")
+	}
+
+	// Merged arrivals: the adversary pattern as a standalone process.
+	merged := NewMergedArrivals(NewBatchAt(10, 5), NewEvenPaced(0.25))
+	res = Run(Config{Kappa: 16, Horizon: 1000, Drain: true, Seed: 9},
+		NewDecodableBackoff(16, 10), merged)
+	if res.Arrivals != 5+250 {
+		t.Fatalf("merged arrivals %d, want 255", res.Arrivals)
+	}
+}
+
+func TestNewAdversaryArrivalsAdapter(t *testing.T) {
+	arr, ok := NewAdversaryArrivals(NewSigmaRhoArrivals(3, 0))
+	if !ok {
+		t.Fatal("sigmarho should adapt to Arrivals")
+	}
+	res := Run(Config{Kappa: 16, Horizon: 100, Drain: true, Seed: 11},
+		NewDecodableBackoff(16, 12), NewMergedArrivals(arr, NewBatchAt(5, 2)))
+	if res.Arrivals != 5 {
+		t.Fatalf("arrivals %d, want σ=3 + batch 2", res.Arrivals)
+	}
+	if _, ok := NewAdversaryArrivals(NewBurstJammer(10, 90)); ok {
+		t.Fatal("a pure jammer should not adapt to Arrivals")
+	}
+}
+
+func TestFacadeConstructorsValidate(t *testing.T) {
+	// Facade constructors must reject what ParseAdversary rejects, so a
+	// typo'd parameter cannot yield a silently inert adversary.
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: bad parameters accepted", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("burst 0", func() { NewBurstJammer(0, 500) })
+	mustPanic("gap -1", func() { NewBurstJammer(10, -1) })
+	mustPanic("sigmarho 0/0", func() { NewSigmaRhoArrivals(0, 0) })
+	mustPanic("reactive 0", func() { NewReactiveJammer(0, 5) })
+	if !IsAdaptiveAdversary(NewReactiveJammer(2, 8)) || IsAdaptiveAdversary(NewBurstJammer(1, 9)) {
+		t.Fatal("IsAdaptiveAdversary misclassifies")
+	}
+}

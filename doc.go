@@ -19,11 +19,15 @@
 //     weights) — runnable on the channel they were designed for;
 //   - adversarial and stochastic arrival processes, including the
 //     sliding-window rate cap from the paper's theorems;
+//   - a first-class adversary layer (internal/adversary): oblivious,
+//     duty-cycled, and adaptive feedback-reactive jammers plus a
+//     (σ,ρ)-bounded front-loading arrival adversary, composable into any
+//     run via Config.Adversary and swept as a grid axis;
 //   - a deterministic discrete-round simulation engine with a parallel
 //     multi-trial runner;
 //   - a declarative scenario-sweep subsystem (internal/sweep) that
-//     expands model × protocol × arrival × κ × rate × jammer grids and
-//     executes every cell's trials in parallel;
+//     expands model × protocol × arrival × κ × rate × jammer × adversary
+//     grids and executes every cell's trials in parallel;
 //   - physical-layer substrates (GF(2^8) random linear network coding and
 //     a ZigZag-style additive-collision decoder) grounding the model.
 //

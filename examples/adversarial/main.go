@@ -56,6 +56,29 @@ func main() {
 
 	fmt.Printf("\nTheorem 11: backlog ≤ 2w = %d for every adversary respecting the window rate.\n", 2*w)
 	fmt.Println("Theorem 15: every packet delivered (no starvation), latency O(w·√κ·ln³w).")
+
+	// Arrival adversaries attack the workload; channel adversaries
+	// (crn.Config.Adversary) attack the medium itself.  The theorems make
+	// no promise against jamming — the reactive jammer below listens for
+	// near-decode feedback and vetoes the decode, stretching completion
+	// far beyond what the same noise budget achieves obliviously.
+	fmt.Println("\nChannel adversaries (beyond the paper's model):")
+	fmt.Printf("%-16s %12s %12s %10s\n", "adversary", "delivered", "jammed", "elapsed")
+	for _, desc := range []string{"none", "random:0.10", "reactive:3/64"} {
+		adv, err := crn.ParseAdversary(desc)
+		if err != nil {
+			panic(err)
+		}
+		res := crn.Run(crn.Config{
+			Kappa:     kappa,
+			Horizon:   2 * w,
+			Drain:     true,
+			Seed:      13,
+			Adversary: adv,
+		}, crn.NewDecodableBackoff(kappa, 14), crn.NewEvenPaced(0.6))
+		fmt.Printf("%-16s %12d %12d %10d\n",
+			desc, res.Delivered, res.Channel.JammedSlots, res.Elapsed)
+	}
 }
 
 // disruptor adapts the internal adaptive adversary through the public

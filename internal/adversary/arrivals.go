@@ -1,0 +1,42 @@
+package adversary
+
+import (
+	"repro/internal/arrival"
+	"repro/internal/channel"
+	"repro/internal/rng"
+)
+
+// arrivals adapts an Injector onto arrival.Process, without feedback
+// forwarding.
+type arrivals struct{ inj Injector }
+
+// observingArrivals additionally implements arrival.Observer, so the
+// engine's per-slot feedback reaches the adversary through the same
+// path benign adaptive processes use.
+type observingArrivals struct{ arrivals }
+
+// Arrivals adapts an arrival adversary to the arrival.Process interface,
+// so it can drive a run directly or compose with a benign process via
+// arrival.Merge.  Feedback is forwarded to the injector's Observe; if
+// the same adversary is also composed as a Jammer over the medium in
+// the same run — where the jam wrapper already delivers each slot once
+// — use MutedArrivals instead, or Observe would be called twice per
+// slot.
+func Arrivals(inj Injector) arrival.Process { return observingArrivals{arrivals{inj}} }
+
+// MutedArrivals is Arrivals without the feedback forwarding: the
+// adapter for an adversary whose Observe already receives each stepped
+// slot through another composition path (the jam wrapper).
+func MutedArrivals(inj Injector) arrival.Process { return arrivals{inj} }
+
+// Name implements arrival.Process.
+func (a arrivals) Name() string { return a.inj.Name() }
+
+// Injections implements arrival.Process.
+func (a arrivals) Injections(now int64, r *rng.Rand) int { return a.inj.Injects(now, r) }
+
+// NextAfter implements arrival.Process.
+func (a arrivals) NextAfter(now int64) int64 { return a.inj.NextAfter(now) }
+
+// ObserveSlot implements arrival.Observer.
+func (a observingArrivals) ObserveSlot(fb channel.Feedback) { a.inj.Observe(fb) }

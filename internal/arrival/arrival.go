@@ -285,6 +285,46 @@ func (d *Disruptor) ObserveSlot(fb channel.Feedback) {
 	}
 }
 
+// Merge sums two arrival processes: packets from both arrive on the
+// shared channel.  It is how an arrival adversary (e.g. the (σ,ρ)
+// front-loader in package adversary) composes with a benign workload —
+// the protocol serves the union.  Feedback reaches both sides, so
+// adaptive processes stay adaptive under composition.
+type Merge struct {
+	A, B Process
+}
+
+// Name implements Process.
+func (m *Merge) Name() string { return m.A.Name() + "+" + m.B.Name() }
+
+// Injections implements Process.
+func (m *Merge) Injections(now int64, r *rng.Rand) int {
+	return m.A.Injections(now, r) + m.B.Injections(now, r)
+}
+
+// NextAfter implements Process: the earlier of the two sides' next
+// arrivals.
+func (m *Merge) NextAfter(now int64) int64 {
+	a, b := m.A.NextAfter(now), m.B.NextAfter(now)
+	switch {
+	case a < 0:
+		return b
+	case b < 0 || a < b:
+		return a
+	}
+	return b
+}
+
+// ObserveSlot implements Observer, forwarding to both sides.
+func (m *Merge) ObserveSlot(fb channel.Feedback) {
+	if o, ok := m.A.(Observer); ok {
+		o.ObserveSlot(fb)
+	}
+	if o, ok := m.B.(Observer); ok {
+		o.ObserveSlot(fb)
+	}
+}
+
 // Cap enforces the paper's arrival constraint on an inner process: at
 // most Max arrivals in every sliding window of Window slots.  Arrivals
 // beyond the budget are discarded (the adversary wanted to inject more

@@ -323,3 +323,28 @@ func TestMoreNextAfter(t *testing.T) {
 		t.Fatal("zero-rate OnOff NextAfter")
 	}
 }
+
+func TestMergeSumsAndForwards(t *testing.T) {
+	m := &Merge{
+		A: &Batch{At: 5, N: 3},
+		B: &Disruptor{BurstSize: 2},
+	}
+	if m.Name() != "batch(3@5)+disruptor(2)" {
+		t.Fatalf("name %q", m.Name())
+	}
+	r := rng.New(1)
+	// Disruptor armed by silence injects alongside the batch.
+	m.ObserveSlot(channel.Feedback{Slot: 4, Silent: true})
+	if got := m.Injections(5, r); got != 5 {
+		t.Fatalf("merged injections %d, want 3+2", got)
+	}
+	// NextAfter is the earlier of the two sides.
+	if got := m.NextAfter(0); got != 1 {
+		t.Fatalf("NextAfter %d, want 1 (disruptor side)", got)
+	}
+	finite := &Merge{A: &Batch{At: 5, N: 1}, B: &Batch{At: 9, N: 1}}
+	if finite.NextAfter(0) != 5 || finite.NextAfter(5) != 9 || finite.NextAfter(9) != -1 {
+		t.Fatalf("finite merge NextAfter wrong: %d %d %d",
+			finite.NextAfter(0), finite.NextAfter(5), finite.NextAfter(9))
+	}
+}

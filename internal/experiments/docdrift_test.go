@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"os"
+	"regexp"
+	"testing"
+)
+
+// TestDocDriftExperimentIndex pins DESIGN.md §5 to the code: the
+// experiment-index table must list exactly the IDs experiments.All()
+// registers, in the same order.  Adding an experiment without updating
+// the docs (or vice versa) fails here — the check also runs as its own
+// step in CI.
+func TestDocDriftExperimentIndex(t *testing.T) {
+	data, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatalf("reading DESIGN.md: %v", err)
+	}
+	rows := regexp.MustCompile(`(?m)^\| (E\d+) \|`).FindAllStringSubmatch(string(data), -1)
+	var docIDs []string
+	for _, m := range rows {
+		docIDs = append(docIDs, m[1])
+	}
+	runners := All()
+	if len(docIDs) != len(runners) {
+		t.Fatalf("DESIGN.md §5 lists %d experiments, experiments.All() has %d — update the index table",
+			len(docIDs), len(runners))
+	}
+	for i, r := range runners {
+		if docIDs[i] != r.ID {
+			t.Fatalf("DESIGN.md §5 row %d is %s, experiments.All() has %s — update the index table",
+				i+1, docIDs[i], r.ID)
+		}
+	}
+}

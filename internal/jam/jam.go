@@ -1,10 +1,17 @@
-// Package jam provides adversarial jammers: processes that spoil slots
-// with noise energy.  Jamming is not part of the paper's model — the
-// paper cites a separate literature for jamming-robust backoff
-// (Awerbuch–Richa–Scheideler and successors) — but it is the natural
-// failure-injection probe for a protocol whose two feedback signals are
-// silence and decoding events: a jammed slot is audibly busy and
-// contributes nothing to decoding windows.
+// Package jam provides the legacy oblivious jammers: processes that
+// spoil slots with noise energy.  Jamming is not part of the paper's
+// model — the paper cites a separate literature for jamming-robust
+// backoff (Awerbuch–Richa–Scheideler and successors) — but it is the
+// natural failure-injection probe for a protocol whose two feedback
+// signals are silence and decoding events: a jammed slot is audibly
+// busy and contributes nothing to decoding windows.
+//
+// New work should prefer package adversary, the first-class adversary
+// layer: it subsumes these jammers (adversary.FromJam adapts them, and
+// adversary.Random / adversary.BurstGap are their ports) and adds
+// feedback-reactive jamming and bursty arrival adversaries.  This
+// package remains the stable home of sim.Config.Jammer and the sweep
+// "jammers" axis.
 package jam
 
 import (

@@ -143,6 +143,13 @@ func (c *Classical) setLast(now int64, class channel.SlotClass, ev *channel.Even
 // Feedback implements Medium.
 func (c *Classical) Feedback(fb *channel.Feedback) { *fb = c.last }
 
+// MasksSilence reports whether the medium's feedback hides idle slots
+// (CDNone: no channel sensing, so Silent is never set).  Adaptive
+// adversaries rely on truthful silence for their gap-equals-silence
+// determinism rule; sim.Run and the sweep layer reject or skip them on
+// masking media.
+func (c *Classical) MasksSilence() bool { return c.cd == CDNone }
+
 // AddSilent implements Medium.
 func (c *Classical) AddSilent(n int64) {
 	if n < 0 {

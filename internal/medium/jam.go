@@ -1,12 +1,13 @@
 package medium
 
 import (
+	"repro/internal/adversary"
 	"repro/internal/channel"
 	"repro/internal/jam"
 	"repro/internal/rng"
 )
 
-// Jammed composes an adversarial jammer over an inner medium: a jammed
+// Jammed composes a jamming adversary over an inner medium: a jammed
 // slot is spoiled before the inner medium ever sees it.  A jammed slot
 // is audibly busy (never silent) and decode-useless (never good), so it
 // classifies as Bad regardless of the real transmitters; like any bad
@@ -14,16 +15,27 @@ import (
 // the inner medium is simply not stepped.
 //
 // Jam decisions are keyed to the slot number: the jammer's rng stream is
-// reseeded from (seed, slot) for every slot, so a decision depends only
-// on the slot being asked about, never on how many slots were stepped
-// before it.  That keeps jammer randomness aligned when the engine
-// fast-forwards through idle stretches — a run takes the same jam
-// pattern whether or not slots in between were skipped.  (Fast-forwarded
-// stretches themselves are never consulted: an empty system ignores
-// noise, so they stay accounted as silent.)
+// reseeded from (seed, slot) for every slot, so a randomized decision
+// depends only on the slot being asked about, never on how many slots
+// were stepped before it.  Adaptive jammers additionally hear every
+// stepped slot's feedback through Observe (the wrapper forwards it after
+// filling the caller's struct) and must follow the package adversary
+// determinism contract: treat a gap in observed slots as silence, and
+// key armed windows to slot numbers.  Together these keep the jam
+// pattern aligned when the engine fast-forwards through idle stretches —
+// a run takes the same jam pattern whether or not slots in between were
+// skipped.  (Fast-forwarded stretches themselves are never consulted: an
+// empty system ignores noise, so they stay accounted as silent.)
+//
+// The alignment guarantee assumes fast-forwarded slots really would
+// have been silent, so an adaptive jammer must not be composed over an
+// inner medium that itself spoils idle slots (another jam wrapper):
+// densely stepped, the inner noise occupies slots the fast path treats
+// as silence, and the adaptive state diverges.  sim.Run rejects that
+// stacking (adaptive Config.Adversary over Config.Jammer).
 type Jammed struct {
 	inner  Medium
-	jammer jam.Jammer
+	jammer adversary.Jammer
 	seed   uint64
 	r      rng.Rand
 	dup    dupCheck
@@ -39,10 +51,20 @@ type Jammed struct {
 
 var _ Medium = (*Jammed)(nil)
 
-// Jam wraps inner with the given jammer, seeding the jammer's
-// slot-keyed randomness from seed.  A nil jammer returns inner
-// unchanged.
+// Jam wraps inner with the given package-jam jammer, seeding the
+// jammer's slot-keyed randomness from seed.  A nil jammer returns inner
+// unchanged.  It is the legacy entry point; first-class adversaries use
+// JamAdversary.
 func Jam(inner Medium, j jam.Jammer, seed uint64) Medium {
+	return JamAdversary(inner, adversary.FromJam(j), seed)
+}
+
+// JamAdversary wraps inner with a jamming adversary, seeding its
+// slot-keyed randomness from seed.  The adversary hears every stepped
+// slot's feedback through Observe, so adaptive jammers (e.g.
+// adversary.Reactive) work unmodified.  A nil jammer returns inner
+// unchanged.
+func JamAdversary(inner Medium, j adversary.Jammer, seed uint64) Medium {
 	if j == nil {
 		return inner
 	}
@@ -67,7 +89,7 @@ func (m *Jammed) Step(now int64, txs []channel.PacketID) (channel.SlotClass, *ch
 	// slots, and the golden-ratio stride keeps seed^f(now) injective per
 	// seed.
 	m.r.Seed(m.seed ^ uint64(now)*0x9e3779b97f4a7c15)
-	if m.jammer.Jammed(now, &m.r) {
+	if m.jammer.Jams(now, &m.r) {
 		// The inner detector never sees this slot, so enforce its
 		// duplicate-transmitter invariant here: a protocol bug must not
 		// hide behind the noise.
@@ -81,17 +103,25 @@ func (m *Jammed) Step(now int64, txs []channel.PacketID) (channel.SlotClass, *ch
 	return m.inner.Step(now, txs)
 }
 
-// Feedback implements Medium.
+// Feedback implements Medium.  The adversary hears the slot too — it is
+// on the channel like any device — so the wrapper forwards the filled
+// feedback to its Observe before returning.
 func (m *Jammed) Feedback(fb *channel.Feedback) {
 	if m.lastJammed {
 		*fb = m.last
-		return
+	} else {
+		m.inner.Feedback(fb)
 	}
-	m.inner.Feedback(fb)
+	m.jammer.Observe(*fb)
 }
 
 // AddSilent implements Medium.
 func (m *Jammed) AddSilent(n int64) { m.inner.AddSilent(n) }
+
+// MasksSilence reports true: jamming energy can land on otherwise idle
+// slots, so the composed feedback no longer exposes idleness truthfully
+// (regardless of the inner medium's answer).  See medium.MasksSilence.
+func (m *Jammed) MasksSilence() bool { return true }
 
 // Stats implements Medium: the inner medium's counters plus the spoiled
 // slots, which count as bad (and jammed) exactly as the engine's old
@@ -103,9 +133,11 @@ func (m *Jammed) Stats() channel.Stats {
 	return st
 }
 
-// Reset implements Medium.
+// Reset implements Medium, clearing the adversary's adaptive state along
+// with the slot accounting.
 func (m *Jammed) Reset() {
 	m.inner.Reset()
+	m.jammer.Reset()
 	m.jammed = 0
 	m.lastJammed = false
 	m.last = channel.Feedback{}

@@ -14,8 +14,9 @@
 //   - Classical — the collision channel (κ = 1 semantics) with
 //     selectable collision-detection feedback: none, binary carrier
 //     sensing, or ternary collision detection;
-//   - Jam — a wrapper composing an adversarial jammer over any medium,
-//     spoiling slots before the inner medium sees them.
+//   - Jam / JamAdversary — a wrapper composing a jamming adversary over
+//     any medium, spoiling slots before the inner medium sees them and
+//     forwarding per-slot feedback to adaptive jammers.
 //
 // The per-slot contract is allocation-free: Step reuses its event
 // storage and Feedback fills a caller-owned struct, so the engine's hot
@@ -27,6 +28,15 @@ import (
 
 	"repro/internal/channel"
 )
+
+// Feedback is what devices — and adversaries listening alongside them —
+// hear about a slot.  It is channel.Feedback re-exported at the layer
+// that defines what a channel model sounds like, so the medium's
+// callers (the engine, tooling) can name it without importing the
+// detector package.  (Package adversary itself names channel.Feedback
+// directly: medium composes adversaries, so the dependency points the
+// other way.)
+type Feedback = channel.Feedback
 
 // Medium is the base-station side of a channel model.  The engine
 // calls, per simulated slot, Step with the transmitting packets and
@@ -114,6 +124,18 @@ func (d *dupCheck) check(txs []channel.PacketID) {
 		}
 		d.seen[id] = d.gen
 	}
+}
+
+// MasksSilence reports whether the medium's feedback fails to expose
+// provably idle slots as silent — either because the model has no
+// channel sensing (classical:none) or because composed jamming energy
+// can land on idle slots (any jam wrapper).  Adaptive adversaries rely
+// on truthful silence for their gap-equals-silence determinism rule, so
+// sim.Run rejects them on masking media and the sweep layer skips the
+// cells.
+func MasksSilence(m Medium) bool {
+	msk, ok := m.(interface{ MasksSilence() bool })
+	return ok && msk.MasksSilence()
 }
 
 // New constructs a medium from a model descriptor.  kappa and maxWindow

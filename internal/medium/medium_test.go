@@ -3,6 +3,7 @@ package medium
 import (
 	"testing"
 
+	"repro/internal/adversary"
 	"repro/internal/channel"
 	"repro/internal/jam"
 )
@@ -294,5 +295,87 @@ func TestJamTernaryClassicalReportsCollision(t *testing.T) {
 	m.Feedback(&fb)
 	if fb.Collision {
 		t.Fatalf("jammed binary slot feedback %+v, want no collision flag", fb)
+	}
+}
+
+func TestJamAdversaryForwardsFeedbackToObserve(t *testing.T) {
+	// The wrapper is the adaptive jammer's ear: after three busy
+	// event-free slots (κ=4 collisions pending a window), the reactive
+	// adversary must arm and spoil the following slots.
+	m := JamAdversary(NewCoded(4, 0), adversary.NewReactive(3, 2), 1)
+	var fb channel.Feedback
+	step := func(now int64, txs ...channel.PacketID) channel.SlotClass {
+		class, _ := m.Step(now, txs)
+		m.Feedback(&fb)
+		return class
+	}
+	// Three good-but-undecoded slots: two fresh packets per slot keep the
+	// window filling (more packets than good slots) — busy, no event.
+	for now := int64(0); now < 3; now++ {
+		if class := step(now, channel.PacketID(2*now+1), channel.PacketID(2*now+2)); class != channel.Good {
+			t.Fatalf("slot %d class %v, want Good", now, class)
+		}
+	}
+	// Armed: slots 3-4 jammed regardless of transmitters.
+	if class := step(3, 1, 2); class != channel.Bad {
+		t.Fatal("reactive adversary did not jam after its trigger")
+	}
+	if fb.Silent {
+		t.Fatal("jammed slot audible as silence")
+	}
+	if class := step(4); class != channel.Bad {
+		t.Fatal("burst second slot not jammed")
+	}
+	// Burst over: an empty slot is silent again.
+	if class := step(5); class != channel.Silent {
+		t.Fatal("jam outlived its burst")
+	}
+	st := m.Stats()
+	if st.JammedSlots != 2 || st.BadSlots != 2 {
+		t.Fatalf("jam accounting %+v", st)
+	}
+	// Reset must clear the adversary's adaptive state with the medium's.
+	m.Reset()
+	if m.Stats() != (channel.Stats{}) {
+		t.Fatal("Reset left counters")
+	}
+	if class := step(0, 1, 2); class != channel.Good {
+		t.Fatal("Reset left the adversary armed")
+	}
+}
+
+func TestAdaptiveJamDecisionsGapInvariant(t *testing.T) {
+	// The adaptive analogue of TestJamDecisionsAreSlotKeyed: stepping the
+	// idle slots (observed as silence) and skipping them (a feedback gap)
+	// must produce the same jam pattern — the property the engine's
+	// fast-forwarding relies on.
+	decide := func(slots []int64, txsAt map[int64][]channel.PacketID) map[int64]bool {
+		m := JamAdversary(NewCoded(4, 0), adversary.NewReactive(2, 3), 9)
+		var fb channel.Feedback
+		out := make(map[int64]bool)
+		for _, s := range slots {
+			class, _ := m.Step(s, txsAt[s])
+			m.Feedback(&fb)
+			out[s] = class == channel.Bad
+		}
+		return out
+	}
+	// Fresh packet pairs keep the decoding window filling without an
+	// event: slots 0, 1 arm slots 2-4; slots 5-9 idle; busy again at
+	// 10, 11 re-arms 12-14.
+	txsAt := map[int64][]channel.PacketID{
+		0: {1, 2}, 1: {3, 4}, 10: {5, 6}, 11: {7, 8},
+	}
+	dense := decide([]int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}, txsAt)
+	sparse := decide([]int64{0, 1, 2, 3, 4, 10, 11, 12, 13, 14}, txsAt)
+	for s, want := range sparse {
+		if dense[s] != want {
+			t.Fatalf("slot %d: dense=%v sparse=%v", s, dense[s], want)
+		}
+	}
+	for _, s := range []int64{2, 3, 4, 12, 13, 14} {
+		if !dense[s] {
+			t.Fatalf("slot %d expected jammed", s)
+		}
 	}
 }

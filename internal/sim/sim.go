@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/adversary"
 	"repro/internal/arrival"
 	"repro/internal/channel"
 	"repro/internal/jam"
@@ -65,6 +66,14 @@ type Config struct {
 	// are stateful: construct one per run, never share across
 	// concurrent runs.  See internal/medium for the implementations.
 	Medium medium.Medium
+	// Adversary optionally disrupts the run (see internal/adversary).  A
+	// jamming adversary is composed over the medium exactly like Jammer
+	// (slot-keyed randomness, adaptive state fed by per-slot feedback);
+	// an arrival adversary's injections are merged with the configured
+	// arrival process, subject to the same Horizon.  Adversaries are
+	// stateful: construct one per run, never share across concurrent
+	// runs.
+	Adversary adversary.Adversary
 }
 
 // NoWindowCap disables the decoding-window length cap.
@@ -153,6 +162,11 @@ func (r *Result) SegmentMeanBacklog(from, to float64) float64 {
 // arrival stream, which uses Config.Seed directly.
 const jamSeedSalt = 0x4a4d // "JM"
 
+// advSeedSalt decorrelates an adversary's slot-keyed randomness from
+// both the arrival stream and a legacy Config.Jammer composed in the
+// same run.
+const advSeedSalt = 0x414456 // "ADV"
+
 // Run simulates one execution.
 func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 	if cfg.Medium == nil && cfg.Kappa < 1 {
@@ -166,6 +180,35 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 		m = medium.NewCoded(cfg.Kappa, cfg.maxWindow())
 	}
 	m = medium.Jam(m, cfg.Jammer, cfg.Seed^jamSeedSalt)
+	if cfg.Adversary != nil {
+		if _, adaptive := cfg.Adversary.(adversary.Adaptive); adaptive && medium.MasksSilence(m) {
+			// An adaptive adversary's gap-equals-silence rule needs the
+			// medium below it to report idle slots truthfully.  The
+			// composed m is checked, so this catches classical:none, a
+			// legacy Config.Jammer (just composed above), and media the
+			// caller pre-wrapped with a jammer: in each case idle slots
+			// a fast-forwarded run skips as silent would, densely
+			// stepped, be observed as busy, and the adaptive state would
+			// depend on the stepping.
+			panic("sim: an adaptive Adversary needs a medium whose feedback exposes idle slots truthfully (classical:none masks silence; jam wrappers spoil idle slots) — the gap-equals-silence contract cannot hold")
+		}
+		// One adversary may disrupt on both channels: jam composition
+		// wraps the medium, arrival composition merges injections.
+		aj, jams := cfg.Adversary.(adversary.Jammer)
+		if jams {
+			m = medium.JamAdversary(m, aj, cfg.Seed^advSeedSalt)
+		}
+		if inj, ok := cfg.Adversary.(adversary.Injector); ok {
+			advArr := adversary.Arrivals(inj)
+			if jams {
+				// The jam wrapper already delivers each stepped slot's
+				// feedback to Observe; forwarding it through the arrival
+				// path too would observe every slot twice.
+				advArr = adversary.MutedArrivals(inj)
+			}
+			arr = &arrival.Merge{A: arr, B: advArr}
+		}
+	}
 	r := rng.New(cfg.Seed)
 	seriesCap := cfg.SeriesCap
 	if seriesCap == 0 {
@@ -201,7 +244,7 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 	var injectSlot []int64 // inject time by PacketID, for latency
 	idBuf := make([]channel.PacketID, 0, 64)
 	txBuf := make([]channel.PacketID, 0, 64)
-	var fb channel.Feedback // reused across slots; the medium fills it
+	var fb medium.Feedback // reused across slots; the medium fills it
 
 	for now := int64(0); ; {
 		if now >= end {

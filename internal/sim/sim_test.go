@@ -4,11 +4,13 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/adversary"
 	"repro/internal/arrival"
 	"repro/internal/baseline"
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/jam"
+	"repro/internal/medium"
 	"repro/internal/protocol"
 	"repro/internal/rng"
 )
@@ -391,4 +393,127 @@ func TestJammerAlignedAcrossFastForward(t *testing.T) {
 		fast.Latency.Mean() != slow.Latency.Mean() {
 		t.Fatalf("jammer stream misaligned across fast-forwarding:\n  fast: %v\n  slow: %v", fast, slow)
 	}
+}
+
+func TestAdaptiveJammerAlignedAcrossFastForward(t *testing.T) {
+	// The adaptive reactive jammer carries feedback-driven state, so its
+	// alignment across fast-forwarding rests on the adversary determinism
+	// contract (armed windows keyed to slot numbers, gaps treated as
+	// silence) rather than on slot-keyed randomness alone.  As with the
+	// oblivious jammer above, a run must deliver the same packets at the
+	// same times whether or not the engine skips the protocol's idle
+	// stretches.
+	run := func(fastForward bool) *Result {
+		var proto protocol.Protocol = baseline.NewExponentialBackoff(rng.New(71))
+		if !fastForward {
+			proto = noWake{proto}
+		}
+		return Run(Config{Kappa: 1, Horizon: 1, Drain: true, Seed: 72,
+			TrackLatency: true, Adversary: adversary.NewReactive(1, 16)},
+			proto, &arrival.Batch{At: 0, N: 8})
+	}
+	fast, slow := run(true), run(false)
+	if fast.Delivered != 8 {
+		t.Fatalf("delivered %d of 8 under the reactive jammer", fast.Delivered)
+	}
+	if fast.Delivered != slow.Delivered || fast.Elapsed != slow.Elapsed ||
+		fast.MaxBacklog != slow.MaxBacklog ||
+		fast.Latency.Mean() != slow.Latency.Mean() {
+		t.Fatalf("adaptive jammer misaligned across fast-forwarding:\n  fast: %v\n  slow: %v", fast, slow)
+	}
+	if fast.Channel.JammedSlots == 0 {
+		t.Fatal("reactive jammer never fired (collisions should have armed it)")
+	}
+	if fast.Medium != "coded+jam:reactive(1/16)" {
+		t.Fatalf("medium name %q", fast.Medium)
+	}
+}
+
+func TestSigmaRhoAdversaryMergesWithArrivals(t *testing.T) {
+	// An arrival adversary composes with the benign process: the run
+	// serves the union, conservation holds, and the σ burst lands at
+	// slot 0 on top of the paced stream.
+	base := arrival.NewEvenPaced(0.1)
+	res := Run(Config{Kappa: 16, Horizon: 4000, Drain: true, Seed: 41,
+		Adversary: &adversary.SigmaRho{Sigma: 64, Rho: 0.05}},
+		core.New(16, rng.New(42)), base)
+	// even 0.1 over 4000 slots = 400; sigmarho σ=64 + ρ·0.05 ≈ 64+200.
+	if res.Arrivals < 600 || res.Arrivals > 700 {
+		t.Fatalf("arrivals %d, want ≈ 664 (benign 400 + adversary ≈ 264)", res.Arrivals)
+	}
+	if res.Arrivals != res.Delivered+int64(res.Pending) {
+		t.Fatalf("conservation violated: %d != %d + %d",
+			res.Arrivals, res.Delivered, res.Pending)
+	}
+	if res.MaxBacklog < 64 {
+		t.Fatalf("max backlog %d: the σ=64 front-loaded burst never landed", res.MaxBacklog)
+	}
+	if res.Arrival != "even(0.100)+sigmarho(64/0.050)" {
+		t.Fatalf("arrival name %q", res.Arrival)
+	}
+}
+
+func TestLegacyJammerAndAdversaryCompose(t *testing.T) {
+	// Config.Jammer (legacy) and Config.Adversary stack: both spoil
+	// slots, their randomness decorrelated by distinct salts, and the
+	// medium name records the composition order.
+	res := Run(Config{Kappa: 8, Horizon: 3000, Drain: true, Seed: 51,
+		Jammer:    &jam.Random{Rate: 0.05},
+		Adversary: &adversary.BurstGap{Burst: 20, Gap: 180}},
+		core.New(8, rng.New(52)), &arrival.Bernoulli{Rate: 0.2})
+	if res.Medium != "coded+jam:random(0.050)+jam:burst(20/180)" {
+		t.Fatalf("medium name %q", res.Medium)
+	}
+	if res.Channel.JammedSlots == 0 {
+		t.Fatal("no slot jammed by either layer")
+	}
+	if res.Arrivals != res.Delivered+int64(res.Pending) {
+		t.Fatal("conservation violated under stacked jamming")
+	}
+}
+
+func TestAdaptiveAdversaryRejectsLegacyJammerStack(t *testing.T) {
+	// The legacy jammer spoils slots the engine skips as provably
+	// silent, so an adaptive adversary over it cannot keep its
+	// gap-equals-silence contract; Run must reject the combination
+	// rather than silently produce fast-forward-dependent results.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("adaptive adversary over Config.Jammer was accepted")
+		}
+	}()
+	Run(Config{Kappa: 8, Horizon: 100, Seed: 1,
+		Jammer:    &jam.Random{Rate: 0.3},
+		Adversary: adversary.NewReactive(2, 16)},
+		core.New(8, rng.New(2)), &arrival.Batch{At: 0, N: 4})
+}
+
+func TestAdaptiveAdversaryRejectsSilenceMaskingMedium(t *testing.T) {
+	// classical:none reports every idle stepped slot as busy, so an
+	// adaptive adversary's gap-equals-silence rule cannot hold; Run must
+	// reject the pairing (the sweep layer already skips it).
+	defer func() {
+		if recover() == nil {
+			t.Fatal("adaptive adversary over classical:none was accepted")
+		}
+	}()
+	Run(Config{Horizon: 100, Seed: 1,
+		Medium:    medium.NewClassical(medium.CDNone),
+		Adversary: adversary.NewReactive(2, 16)},
+		baseline.NewExponentialBackoff(rng.New(2)), &arrival.Batch{At: 0, N: 4})
+}
+
+func TestAdaptiveAdversaryRejectsPreJammedMedium(t *testing.T) {
+	// The guard inspects the composed medium, so a jammer baked into
+	// Config.Medium (rather than Config.Jammer) is caught too.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("adaptive adversary over a pre-jammed medium was accepted")
+		}
+	}()
+	inner := medium.NewCoded(8, 0)
+	Run(Config{Horizon: 100, Seed: 1,
+		Medium:    medium.Jam(inner, &jam.Random{Rate: 0.3}, 5),
+		Adversary: adversary.NewReactive(2, 16)},
+		baseline.NewExponentialBackoff(rng.New(2)), &arrival.Batch{At: 0, N: 4})
 }

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/adversary"
 	"repro/internal/arrival"
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -89,11 +90,13 @@ func parseJammer(desc string) (jam.Jammer, error) {
 	case desc == "" || desc == "none":
 		return nil, nil
 	case strings.HasPrefix(desc, "random:"):
-		rate, err := strconv.ParseFloat(desc[len("random:"):], 64)
-		if err != nil || rate < 0 || rate > 1 {
+		// adversary.Random embeds jam.Random, so the adversary parser is
+		// the single source of the rate validation for both axes.
+		adv, err := adversary.Parse(desc)
+		if err != nil {
 			return nil, fmt.Errorf("sweep: bad jammer %q (want random:RATE with RATE in [0,1])", desc)
 		}
-		return &jam.Random{Rate: rate}, nil
+		return &adv.(*adversary.Random).Random, nil
 	case strings.HasPrefix(desc, "periodic:"):
 		spec := desc[len("periodic:"):]
 		slash := strings.IndexByte(spec, '/')
@@ -126,8 +129,14 @@ func buildMedium(sc Scenario) medium.Medium {
 }
 
 // config builds the engine configuration for one trial of a cell.
+// Adversaries are stateful, so each trial parses its own fresh instance
+// from the cell's descriptor.
 func (s *Spec) config(sc Scenario, seed uint64) sim.Config {
 	jammer, err := parseJammer(sc.Jammer)
+	if err != nil {
+		panic(err) // Validate rejects bad descriptors
+	}
+	adv, err := adversary.Parse(sc.Adversary)
 	if err != nil {
 		panic(err) // Validate rejects bad descriptors
 	}
@@ -140,6 +149,7 @@ func (s *Spec) config(sc Scenario, seed uint64) sim.Config {
 		Seed:         seed,
 		TrackLatency: true,
 		Jammer:       jammer,
+		Adversary:    adv,
 		Medium:       buildMedium(sc),
 	}
 }

@@ -107,12 +107,12 @@ func (g *Grid) Table() *report.Table {
 		title = fmt.Sprintf("sweep %s", g.Spec.Name)
 	}
 	t := report.NewTable(title,
-		"model", "protocol", "arrival", "kappa", "rate", "jammer", "trials",
+		"model", "protocol", "arrival", "kappa", "rate", "jammer", "adversary", "trials",
 		"throughput", "maxBacklog", "p50", "p99",
 		"delivered", "pending", "errorEpochs", "silent", "good", "bad", "jammed")
 	for i := range g.Cells {
 		c := &g.Cells[i]
-		t.AddRow(c.Model, c.Protocol, c.Arrival, c.Kappa, c.Rate, c.Jammer, c.Trials,
+		t.AddRow(c.Model, c.Protocol, c.Arrival, c.Kappa, c.Rate, c.Jammer, c.Adversary, c.Trials,
 			c.Throughput.Mean, c.MaxBacklog.Mean, c.LatencyP50.Mean, c.LatencyP99.Mean,
 			c.Delivered, c.Pending, c.ErrorEpochs,
 			c.Slots.Silent, c.Slots.Good, c.Slots.Bad, c.Slots.Jammed)

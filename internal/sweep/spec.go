@@ -1,10 +1,11 @@
 // Package sweep runs declarative scenario grids: a Spec names the
 // cross-product of channel models × protocols × arrival processes ×
-// decoding thresholds × rates × jammers it wants explored, and Run
-// executes every cell's trials in parallel, aggregating per-cell
+// decoding thresholds × rates × jammers × adversaries it wants explored,
+// and Run executes every cell's trials in parallel, aggregating per-cell
 // summaries into a Grid that serializes to deterministic JSON and CSV.
 // Same spec + same seed ⇒ byte-identical artifacts, regardless of
-// parallelism — sweep outputs are diffable across commits.
+// parallelism — sweep outputs are diffable across commits, including
+// cells with adaptive (feedback-reacting) adversaries.
 //
 // The model axis makes cross-channel comparisons one artifact: the same
 // grid can run Decodable Backoff on the coded channel next to
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/adversary"
 	"repro/internal/medium"
 )
 
@@ -30,22 +32,31 @@ var (
 	Protocols = []string{"dba", "beb", "aloha", "genie", "mw"}
 	// Arrivals lists the known arrival kinds in canonical order.
 	Arrivals = []string{"batch", "bernoulli", "poisson", "even", "burst"}
+	// Adversaries lists the adversary descriptor forms a Spec may name
+	// (see internal/adversary).
+	Adversaries = adversary.Kinds
 )
 
 // Spec declares a scenario grid.  Every combination of one channel
-// model, one protocol, one arrival kind, one κ, one rate, and one
-// jammer is a cell; each cell runs Trials independent trials.  The rate
-// axis has a uniform "offered load" meaning across arrival kinds: it is
-// the per-slot probability (bernoulli), intensity (poisson), pace
-// (even), window-fill fraction (burst: rate×BurstWindow packets per
-// window), or horizon-fill fraction (batch: rate×Horizon packets at
-// slot 0, unless BatchN overrides).
+// model, one protocol, one arrival kind, one κ, one rate, one jammer,
+// and one adversary is a cell; each cell runs Trials independent
+// trials.  The rate axis has a uniform "offered load" meaning across
+// arrival kinds: it is the per-slot probability (bernoulli), intensity
+// (poisson), pace (even), window-fill fraction (burst: rate×BurstWindow
+// packets per window), or horizon-fill fraction (batch: rate×Horizon
+// packets at slot 0, unless BatchN overrides).
 //
-// Two combinations are skipped during expansion rather than rejected,
-// so one grid can mix channel models freely: dba pairs only with the
-// coded model (the algorithm is defined for κ ≥ 6), and classical
-// models collapse the κ axis to the single value 1 (the collision
-// channel has no threshold to sweep).
+// Four combinations are skipped during expansion rather than rejected,
+// so one grid can mix channel models and adversaries freely: dba pairs
+// only with the coded model (the algorithm is defined for κ ≥ 6);
+// classical models collapse the κ axis to the single value 1 (the
+// collision channel has no threshold to sweep); jamming and adaptive
+// adversaries pair only with jammer "none" (double-jamming cells would
+// only square the grid, and an adaptive adversary cannot sit over a
+// jammed, silence-spoiling medium); and adaptive adversaries are
+// skipped under silence-masking models (classical:none has no channel
+// sensing, so the reactive trigger — and the determinism contract's
+// gap-equals-silence rule — is undefined there).
 type Spec struct {
 	// Name labels the sweep in artifacts (optional).
 	Name string `json:"name,omitempty"`
@@ -65,6 +76,10 @@ type Spec struct {
 	// Jammers are jammer descriptors: "none", "random:RATE", or
 	// "periodic:PERIOD/BURST".  Empty means {"none"}.
 	Jammers []string `json:"jammers,omitempty"`
+	// Adversaries are adversary descriptors (internal/adversary):
+	// "none", "random:RATE", "burst:B/GAP", "reactive:TRIGGER/BURST", or
+	// "sigmarho:SIGMA/RHO".  Empty means {"none"}.
+	Adversaries []string `json:"adversaries,omitempty"`
 
 	// Trials is the number of independent trials per cell (≥ 1).
 	Trials int `json:"trials"`
@@ -89,18 +104,19 @@ type Spec struct {
 
 // Scenario is one concrete cell of the expanded grid.
 type Scenario struct {
-	Model    string  `json:"model"`
-	Protocol string  `json:"protocol"`
-	Arrival  string  `json:"arrival"`
-	Kappa    int     `json:"kappa"`
-	Rate     float64 `json:"rate"`
-	Jammer   string  `json:"jammer"`
+	Model     string  `json:"model"`
+	Protocol  string  `json:"protocol"`
+	Arrival   string  `json:"arrival"`
+	Kappa     int     `json:"kappa"`
+	Rate      float64 `json:"rate"`
+	Jammer    string  `json:"jammer"`
+	Adversary string  `json:"adversary"`
 }
 
 // Key renders the cell coordinates compactly for tables and logs.
 func (s Scenario) Key() string {
-	return fmt.Sprintf("%s/%s/%s/k=%d/rate=%g/jam=%s",
-		s.Model, s.Protocol, s.Arrival, s.Kappa, s.Rate, s.Jammer)
+	return fmt.Sprintf("%s/%s/%s/k=%d/rate=%g/jam=%s/adv=%s",
+		s.Model, s.Protocol, s.Arrival, s.Kappa, s.Rate, s.Jammer, s.Adversary)
 }
 
 func contains(set []string, s string) bool {
@@ -179,6 +195,14 @@ func (s *Spec) Validate() error {
 			return err
 		}
 	}
+	if len(s.Adversaries) == 0 {
+		s.Adversaries = []string{"none"}
+	}
+	for _, a := range s.Adversaries {
+		if _, err := adversary.Parse(a); err != nil {
+			return err
+		}
+	}
 	if s.Trials < 1 {
 		return fmt.Errorf("sweep: trials %d < 1", s.Trials)
 	}
@@ -211,11 +235,14 @@ func (s *Spec) Cells() int { return len(s.Expand()) }
 var classicalKappas = []int{1}
 
 // Expand enumerates the grid's cells in canonical nesting order (model,
-// then protocol, then arrival, then κ, then rate, then jammer).  The
-// order is part of the artifact contract: cell seeds are assigned along
-// it.  Two skip rules keep mixed-model grids runnable: dba cells exist
-// only under coded models, and classical models collapse the κ axis to
-// {1}.
+// then protocol, then arrival, then κ, then rate, then jammer, then
+// adversary).  The order is part of the artifact contract: cell seeds
+// are assigned along it.  Four skip rules keep mixed grids runnable:
+// dba cells exist only under coded models; classical models collapse
+// the κ axis to {1}; jamming and adaptive adversaries pair only with
+// jammer "none"; and adaptive adversaries are skipped under
+// silence-masking models (the feedback they react to does not exist
+// there).
 func (s *Spec) Expand() []Scenario {
 	models := s.Models
 	if len(models) == 0 {
@@ -225,12 +252,30 @@ func (s *Spec) Expand() []Scenario {
 	if len(jammers) == 0 {
 		jammers = []string{"none"}
 	}
+	advs := s.Adversaries
+	if len(advs) == 0 {
+		advs = []string{"none"}
+	}
+	// Classify each adversary descriptor once; the skip rules consult
+	// the flags in the innermost loop.
+	advJams := make([]bool, len(advs))
+	advAdaptive := make([]bool, len(advs))
+	for i, a := range advs {
+		advJams[i] = adversary.IsJammer(a)
+		advAdaptive[i] = adversary.IsAdaptive(a)
+	}
 	var cells []Scenario
 	for _, m := range models {
 		kappas := s.Kappas
 		classical := isClassical(m)
 		if classical {
 			kappas = classicalKappas
+		}
+		// Adaptive adversaries need truthful silence feedback; ask the
+		// model itself rather than hard-coding descriptor names.
+		masksSilence := false
+		if built, err := medium.New(m, 1, 0); err == nil {
+			masksSilence = medium.MasksSilence(built)
 		}
 		for _, p := range s.Protocols {
 			if classical && p == "dba" {
@@ -240,9 +285,21 @@ func (s *Spec) Expand() []Scenario {
 				for _, k := range kappas {
 					for _, r := range s.Rates {
 						for _, j := range jammers {
-							cells = append(cells, Scenario{
-								Model: m, Protocol: p, Arrival: a, Kappa: k, Rate: r, Jammer: j,
-							})
+							for ai, adv := range advs {
+								if (advJams[ai] || advAdaptive[ai]) && j != "none" {
+									// One noise source per cell; and an
+									// adaptive adversary cannot sit over a
+									// jammed (silence-spoiling) medium.
+									continue
+								}
+								if advAdaptive[ai] && masksSilence {
+									continue // no silence feedback to react to
+								}
+								cells = append(cells, Scenario{
+									Model: m, Protocol: p, Arrival: a, Kappa: k, Rate: r,
+									Jammer: j, Adversary: adv,
+								})
+							}
 						}
 					}
 				}

@@ -29,14 +29,14 @@ func TestExpandOrderAndCount(t *testing.T) {
 	if len(cells) != s.Cells() || len(cells) != 16 {
 		t.Fatalf("expanded %d cells, Cells()=%d, want 16", len(cells), s.Cells())
 	}
-	// Canonical nesting: model outermost, jammer innermost.
-	if cells[0].Key() != "coded/dba/batch/k=8/rate=0.3/jam=none" {
+	// Canonical nesting: model outermost, adversary innermost.
+	if cells[0].Key() != "coded/dba/batch/k=8/rate=0.3/jam=none/adv=none" {
 		t.Fatalf("first cell %q", cells[0].Key())
 	}
 	if cells[1].Rate != 0.6 || cells[2].Kappa != 16 {
 		t.Fatalf("nesting order wrong: %v %v", cells[1], cells[2])
 	}
-	if cells[15].Key() != "coded/genie/bernoulli/k=16/rate=0.6/jam=none" {
+	if cells[15].Key() != "coded/genie/bernoulli/k=16/rate=0.6/jam=none/adv=none" {
 		t.Fatalf("last cell %q", cells[15].Key())
 	}
 }
@@ -64,7 +64,7 @@ func TestExpandMixedModels(t *testing.T) {
 			}
 		}
 	}
-	if cells[16].Key() != "classical:none/genie/batch/k=1/rate=0.3/jam=none" {
+	if cells[16].Key() != "classical:none/genie/batch/k=1/rate=0.3/jam=none/adv=none" {
 		t.Fatalf("first classical cell %q", cells[16].Key())
 	}
 }
@@ -237,8 +237,8 @@ func TestRunMixedModelGrid(t *testing.T) {
 	for _, c := range grid.Cells {
 		keys[c.Key()] = true
 	}
-	if !keys["coded/genie/bernoulli/k=8/rate=0.3/jam=none"] ||
-		!keys["classical:ternary/genie/bernoulli/k=1/rate=0.3/jam=none"] {
+	if !keys["coded/genie/bernoulli/k=8/rate=0.3/jam=none/adv=none"] ||
+		!keys["classical:ternary/genie/bernoulli/k=1/rate=0.3/jam=none/adv=none"] {
 		t.Fatalf("expected cross-model keys missing: %v", keys)
 	}
 }
@@ -371,5 +371,151 @@ func TestGridTableAndCSV(t *testing.T) {
 	csv := grid.CSV()
 	if lines := strings.Count(csv, "\n"); lines != 2 { // header + 1 cell
 		t.Fatalf("CSV has %d lines:\n%s", lines, csv)
+	}
+}
+
+func TestExpandAdversaryAxisAndSkipRules(t *testing.T) {
+	s := Spec{
+		Models:      []string{"coded", "classical:none"},
+		Protocols:   []string{"genie"},
+		Arrivals:    []string{"bernoulli"},
+		Kappas:      []int{8},
+		Rates:       []float64{0.3},
+		Jammers:     []string{"none", "random:0.1"},
+		Adversaries: []string{"none", "reactive:4/32", "sigmarho:100/0.05"},
+		Trials:      1,
+		Horizon:     100,
+		Seed:        1,
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cells := s.Expand()
+	// coded: jammer none × {none, reactive, sigmarho} + jammer random ×
+	// {none, sigmarho} (reactive is a jamming adversary: skipped under a
+	// non-none jammer) = 5; classical:none additionally skips reactive
+	// (no silence feedback) = 4.
+	if len(cells) != 9 {
+		for _, c := range cells {
+			t.Log(c.Key())
+		}
+		t.Fatalf("expanded %d cells, want 9", len(cells))
+	}
+	for _, c := range cells {
+		if c.Adversary == "reactive:4/32" && c.Jammer != "none" {
+			t.Fatalf("jamming adversary expanded under jammer %q: %s", c.Jammer, c.Key())
+		}
+		if c.Adversary == "reactive:4/32" && c.Model == "classical:none" {
+			t.Fatalf("adaptive adversary expanded under classical:none: %s", c.Key())
+		}
+	}
+	// The injector composes with any jammer and any model.
+	want := "coded/genie/bernoulli/k=8/rate=0.3/jam=random:0.1/adv=sigmarho:100/0.05"
+	var found bool
+	for _, c := range cells {
+		found = found || c.Key() == want
+	}
+	if !found {
+		t.Fatalf("expected cell %q in expansion", want)
+	}
+}
+
+func TestValidateRejectsBadAdversaries(t *testing.T) {
+	for _, bad := range []string{"emp", "reactive:0/5", "sigmarho:0/0", "random:7"} {
+		s := smallSpec()
+		s.Adversaries = []string{bad}
+		if err := s.Validate(); err == nil {
+			t.Errorf("adversary %q accepted", bad)
+		}
+	}
+	s := smallSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Adversaries) != 1 || s.Adversaries[0] != "none" {
+		t.Fatalf("adversaries not normalized: %v", s.Adversaries)
+	}
+}
+
+func adversarialSpec() Spec {
+	return Spec{
+		Name:        "adversarial",
+		Protocols:   []string{"dba", "genie"},
+		Arrivals:    []string{"bernoulli"},
+		Kappas:      []int{8},
+		Rates:       []float64{0.5},
+		Adversaries: []string{"none", "reactive:4/32", "burst:50/450", "sigmarho:50/0.1"},
+		Trials:      2,
+		Horizon:     2000,
+		Seed:        17,
+	}
+}
+
+func TestAdversaryGridDeterministicAcrossParallelism(t *testing.T) {
+	// The acceptance bar for the adversary layer: sweep artifacts whose
+	// cells contain adaptive jammers must stay byte-identical between
+	// serial and parallel execution (adaptive state is per-trial, jam
+	// randomness slot-keyed, cell seeds order-derived).
+	render := func(par int) []byte {
+		grid, err := Run(adversarialSpec(), Options{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := grid.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	serial := render(1)
+	for _, par := range []int{2, 8} {
+		if !bytes.Equal(serial, render(par)) {
+			t.Fatalf("parallelism %d changed an adversarial artifact", par)
+		}
+	}
+	if !bytes.Equal(serial, render(1)) {
+		t.Fatal("rerun with the same seed diverged")
+	}
+}
+
+func TestAdversaryCellsBehave(t *testing.T) {
+	grid, err := Run(adversarialSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]*CellSummary{}
+	for i := range grid.Cells {
+		byKey[grid.Cells[i].Key()] = &grid.Cells[i]
+	}
+	clean := byKey["coded/dba/bernoulli/k=8/rate=0.5/jam=none/adv=none"]
+	reactive := byKey["coded/dba/bernoulli/k=8/rate=0.5/jam=none/adv=reactive:4/32"]
+	burst := byKey["coded/dba/bernoulli/k=8/rate=0.5/jam=none/adv=burst:50/450"]
+	sigmarho := byKey["coded/dba/bernoulli/k=8/rate=0.5/jam=none/adv=sigmarho:50/0.1"]
+	if clean == nil || reactive == nil || burst == nil || sigmarho == nil {
+		t.Fatalf("expected cells missing; have %d cells", len(grid.Cells))
+	}
+	if clean.Slots.Jammed != 0 {
+		t.Fatal("clean cell recorded jammed slots")
+	}
+	for name, c := range map[string]*CellSummary{"reactive": reactive, "burst": burst} {
+		if c.Slots.Jammed == 0 {
+			t.Fatalf("%s adversary never jammed", name)
+		}
+		if c.Arrivals != c.Delivered+c.Pending {
+			t.Fatalf("%s: conservation violated", name)
+		}
+	}
+	// The injector adds its (σ,ρ) load on top of the bernoulli stream.
+	if sigmarho.Arrivals <= clean.Arrivals {
+		t.Fatalf("sigmarho cell arrivals %d not above clean %d",
+			sigmarho.Arrivals, clean.Arrivals)
+	}
+}
+
+func TestParseJammerRejectsNaN(t *testing.T) {
+	s := smallSpec()
+	s.Jammers = []string{"random:NaN"}
+	if err := s.Validate(); err == nil {
+		t.Fatal("NaN jammer rate accepted")
 	}
 }
