@@ -65,6 +65,10 @@ func BenchmarkE13Jamming(b *testing.B) { benchExperiment(b, experiments.E13Jammi
 // BenchmarkE14WindowCap regenerates the window-cap sensitivity table.
 func BenchmarkE14WindowCap(b *testing.B) { benchExperiment(b, experiments.E14WindowCap) }
 
+// BenchmarkE15Scaling regenerates the large-batch scaling table and the
+// normalized-completion figure.
+func BenchmarkE15Scaling(b *testing.B) { benchExperiment(b, experiments.E15Scaling) }
+
 // --- substrate micro-benchmarks -------------------------------------
 
 // BenchmarkDBABatchPerPacket measures end-to-end simulation cost per

@@ -1,0 +1,115 @@
+// Command crnbench times the simulation engine itself — slots per
+// second, heap allocations per slot, bytes per trial — across the
+// deterministic protocol × medium × adversary × workload × n grid
+// defined by internal/perf, and writes the BENCH_engine.json artifact
+// that tracks the engine's performance trajectory across commits.
+//
+// Usage:
+//
+//	crnbench [-scale quick|full] [-trials N] [-seed S] [-out BENCH_engine.json] [-gate] [-quiet]
+//
+// Examples:
+//
+//	crnbench                                  # quick grid, table to stdout
+//	crnbench -out BENCH_engine.json           # regenerate the committed artifact
+//	crnbench -scale full -trials 3            # the n=10^6 large-batch grid
+//	crnbench -out /tmp/b.json -gate -quiet    # CI smoke: write, re-parse, validate, alloc-gate
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/perf"
+	"repro/internal/report"
+)
+
+func main() {
+	scaleName := flag.String("scale", "quick", "grid scale: quick (CI-sized) or full (reaches n=10^6 batches)")
+	trials := flag.Int("trials", 3, "trials per cell (timing aggregates over all)")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	outPath := flag.String("out", "", "write the artifact JSON to this path ('-' = stdout)")
+	gate := flag.Bool("gate", false, "after writing, re-parse the artifact and fail on a missing grid cell or an allocs/slot regression in the steady classical cell")
+	quiet := flag.Bool("quiet", false, "suppress the table and progress output")
+	flag.Parse()
+
+	var scale perf.Scale
+	switch *scaleName {
+	case "quick":
+		scale = perf.Quick
+	case "full":
+		scale = perf.Full
+	default:
+		fatal(fmt.Errorf("unknown scale %q (want quick or full)", *scaleName))
+	}
+	if *trials < 1 {
+		fatal(fmt.Errorf("trials %d < 1", *trials))
+	}
+
+	opts := perf.Options{Scale: scale, Trials: *trials, Seed: *seed}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "crnbench: %d cells × %d trials (%s)\n",
+			len(perf.Cases(scale)), *trials, scale)
+		opts.OnCell = func(done, total int, m *perf.Measurement) {
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s %.3g slots/sec %.4f allocs/slot\n",
+				done, total, m.Key, m.SlotsPerSec, m.AllocsPerSlot)
+		}
+	}
+	start := time.Now()
+	art := perf.Run(opts)
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "crnbench: completed in %v\n\n", time.Since(start).Round(time.Millisecond))
+		if *outPath != "-" {
+			fmt.Print(table(art).String())
+		}
+	}
+
+	if *outPath != "" {
+		if *outPath == "-" {
+			if err := report.WriteJSON(os.Stdout, art); err != nil {
+				fatal(err)
+			}
+		} else if err := report.SaveJSON(*outPath, art); err != nil {
+			fatal(err)
+		}
+	}
+	if *gate {
+		if *outPath == "" || *outPath == "-" {
+			fatal(fmt.Errorf("-gate needs -out FILE (it re-parses the written artifact)"))
+		}
+		data, err := os.ReadFile(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		var back perf.Artifact
+		if err := json.Unmarshal(data, &back); err != nil {
+			fatal(fmt.Errorf("emitted artifact does not parse: %w", err))
+		}
+		if err := perf.Check(&back, scale); err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "crnbench: gate ok (%d cells, %s ≤ %.2f allocs/slot)\n",
+				len(back.Cells), perf.GateKey(scale), perf.GateAllocsPerSlot)
+		}
+	}
+}
+
+func table(art *perf.Artifact) *report.Table {
+	t := report.NewTable(fmt.Sprintf("engine perf (%s, %d trials)", art.Scale, art.Trials),
+		"cell", "slots/sec", "allocs/slot", "bytes/trial", "slots", "delivered", "peakInFlight")
+	for i := range art.Cells {
+		m := &art.Cells[i]
+		t.AddRow(m.Key, m.SlotsPerSec, m.AllocsPerSlot, m.BytesPerTrial,
+			m.Slots, m.Delivered, m.PeakInFlight)
+	}
+	return t
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "crnbench: %v\n", err)
+	os.Exit(1)
+}

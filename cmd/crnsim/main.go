@@ -40,6 +40,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	alohaP := flag.Float64("aloha-p", 0.001, "static ALOHA transmission probability (protocol=aloha)")
 	adversaryDesc := flag.String("adversary", "none", "adversary: none, random:RATE, burst:B/GAP, reactive:TRIGGER/BURST, sigmarho:SIGMA/RHO")
+	latencySamples := flag.Int("latency-samples", 0, "latency reservoir capacity for quantiles (0 = default, -1 = off)")
 	plot := flag.Bool("plot", true, "render the backlog time series")
 	tracePath := flag.String("trace", "", "write the backlog time series to this CSV file")
 	flag.Parse()
@@ -107,13 +108,13 @@ func main() {
 	}
 
 	res := crn.Run(crn.Config{
-		Kappa:        *kappa,
-		Horizon:      *horizon,
-		Drain:        *drain,
-		Seed:         *seed + 1,
-		TrackLatency: true,
-		Medium:       med,
-		Adversary:    adv,
+		Kappa:          *kappa,
+		Horizon:        *horizon,
+		Drain:          *drain,
+		Seed:           *seed + 1,
+		LatencySamples: *latencySamples,
+		Medium:         med,
+		Adversary:      adv,
 	}, proto, arr)
 
 	fmt.Printf("protocol:   %s\n", res.Protocol)
@@ -125,9 +126,14 @@ func main() {
 	fmt.Printf("throughput: %.4f (first arrival to last delivery)\n", res.CompletionThroughput())
 	fmt.Printf("backlog:    max %d\n", res.MaxBacklog)
 	if res.Delivered > 0 {
-		fmt.Printf("latency:    p50=%.0f p99=%.0f max=%.0f mean=%.1f slots\n",
-			res.LatencyQuantile(0.50), res.LatencyQuantile(0.99),
-			res.Latency.Max(), res.Latency.Mean())
+		if res.LatencySample != nil {
+			fmt.Printf("latency:    p50=%.0f p99=%.0f max=%.0f mean=%.1f slots\n",
+				res.LatencyQuantile(0.50), res.LatencyQuantile(0.99),
+				res.Latency.Max(), res.Latency.Mean())
+		} else {
+			fmt.Printf("latency:    max=%.0f mean=%.1f slots (quantiles off)\n",
+				res.Latency.Max(), res.Latency.Mean())
+		}
 	}
 	if *tracePath != "" {
 		err := report.SaveSeriesCSV(*tracePath, "slot", "backlog",

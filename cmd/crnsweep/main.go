@@ -47,6 +47,7 @@ func main() {
 	horizon := flag.Int64("horizon", 20000, "arrival horizon in slots")
 	noDrain := flag.Bool("no-drain", false, "stop at the horizon instead of draining")
 	maxWindow := flag.Int("max-window", 0, "decoding-window cap (0 = default 4κ)")
+	latencySamples := flag.Int("latency-samples", 0, "per-trial latency reservoir capacity (0 = engine default, -1 = off)")
 	seed := flag.Uint64("seed", 1, "base random seed")
 	parallelism := flag.Int("parallelism", 0, "concurrent trials (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write the grid as JSON to this path ('-' = stdout)")
@@ -68,19 +69,20 @@ func main() {
 		spec = *parsed
 	} else {
 		spec = sweep.Spec{
-			Name:        *name,
-			Models:      splitList(*models),
-			Protocols:   splitList(*protocols),
-			Arrivals:    splitList(*arrivals),
-			Kappas:      parseInts(*kappas),
-			Rates:       parseFloats(*rates),
-			Jammers:     splitList(*jammers),
-			Adversaries: splitList(*adversaries),
-			Trials:      *trials,
-			Horizon:     *horizon,
-			NoDrain:     *noDrain,
-			MaxWindow:   *maxWindow,
-			Seed:        *seed,
+			Name:           *name,
+			Models:         splitList(*models),
+			Protocols:      splitList(*protocols),
+			Arrivals:       splitList(*arrivals),
+			Kappas:         parseInts(*kappas),
+			Rates:          parseFloats(*rates),
+			Jammers:        splitList(*jammers),
+			Adversaries:    splitList(*adversaries),
+			Trials:         *trials,
+			Horizon:        *horizon,
+			NoDrain:        *noDrain,
+			MaxWindow:      *maxWindow,
+			LatencySamples: *latencySamples,
+			Seed:           *seed,
 		}
 		if err := spec.Validate(); err != nil {
 			fatal(err)

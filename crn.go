@@ -41,6 +41,16 @@ type Result = sim.Result
 // NoWindowCap disables the decoding-window length cap in Config.MaxWindow.
 const NoWindowCap = sim.NoWindowCap
 
+// DefaultLatencySamples is the latency-reservoir capacity selected by
+// Config.LatencySamples = 0: quantiles stay available at any scale with
+// bounded memory, and are exact whenever a run delivers no more packets
+// than the capacity.
+const DefaultLatencySamples = sim.DefaultLatencySamples
+
+// LatencySamplesOff disables per-run latency retention in
+// Config.LatencySamples (LatencyQuantile returns NaN).
+const LatencySamplesOff = sim.LatencySamplesOff
+
 // EpochInfo describes one completed Decodable Backoff epoch, as passed to
 // epoch observers.
 type EpochInfo = protocol.EpochInfo

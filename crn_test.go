@@ -7,7 +7,7 @@ import (
 
 func TestQuickstartFlow(t *testing.T) {
 	const kappa, n = 64, 2000
-	res := Run(Config{Kappa: kappa, Horizon: 1, Drain: true, Seed: 2, TrackLatency: true},
+	res := Run(Config{Kappa: kappa, Horizon: 1, Drain: true, Seed: 2},
 		NewDecodableBackoff(kappa, 1), NewBatch(n))
 	if res.Delivered != n || res.Pending != 0 {
 		t.Fatalf("delivered %d pending %d", res.Delivered, res.Pending)

@@ -68,9 +68,10 @@
 // aggregates.  Artifacts are deterministic: the same spec and seed
 // reproduce byte-identical bytes at any parallelism, so sweep results
 // (and the BENCH_sweep.json benchmark artifact) are diffable across
-// commits.  cmd/experiments accepts -parallel to run the E1–E14
+// commits.  cmd/experiments accepts -parallel to run the E1–E15
 // reproduction harness concurrently and -json for the same
-// machine-readable treatment.
+// machine-readable treatment; cmd/crnbench times the engine itself
+// across a deterministic perf grid into BENCH_engine.json.
 //
 // See the examples directory for runnable programs and DESIGN.md for the
 // system inventory and the §5 experiment index.

@@ -40,11 +40,10 @@ func main() {
 
 	for _, adv := range adversaries {
 		res := crn.Run(crn.Config{
-			Kappa:        kappa,
-			Horizon:      8 * w,
-			Drain:        true,
-			Seed:         7,
-			TrackLatency: true,
+			Kappa:   kappa,
+			Horizon: 8 * w,
+			Drain:   true,
+			Seed:    7,
 		}, crn.NewDecodableBackoff(kappa, 9), adv.mk())
 		if res.Pending != 0 {
 			fmt.Printf("%-28s STARVATION: %d packets undelivered\n", adv.name, res.Pending)

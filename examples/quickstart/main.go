@@ -16,11 +16,10 @@ func main() {
 
 	proto := crn.NewDecodableBackoff(kappa, 1)
 	res := crn.Run(crn.Config{
-		Kappa:        kappa,
-		Horizon:      1, // arrivals happen at slot 0 only
-		Drain:        true,
-		Seed:         2,
-		TrackLatency: true,
+		Kappa:   kappa,
+		Horizon: 1, // arrivals happen at slot 0 only
+		Drain:   true,
+		Seed:    2,
 	}, proto, crn.NewBatch(n))
 
 	fmt.Printf("Decodable Backoff on the Coded Radio Network Model (κ = %d)\n\n", kappa)

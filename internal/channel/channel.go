@@ -127,6 +127,11 @@ type Channel struct {
 	// protocols resend identical sets for many consecutive slots, and an
 	// equality scan is far cheaper than re-hashing thousands of IDs.
 	prevTxs []PacketID
+	// freeMembers recycles goodEntry member storage: every good slot
+	// needs a members slice, and without recycling the steady-state
+	// per-slot path allocates one per good slot.  The pool is bounded by
+	// the peak number of simultaneously tracked entries.
+	freeMembers [][]PacketID
 }
 
 // New returns a channel with decoding threshold kappa.  maxWindow caps
@@ -243,6 +248,25 @@ func sameIDs(a, b []PacketID) bool {
 	return true
 }
 
+// newMembers returns an empty member slice, reusing recycled storage
+// when available.
+func (c *Channel) newMembers(capHint int) []PacketID {
+	if n := len(c.freeMembers); n > 0 {
+		s := c.freeMembers[n-1]
+		c.freeMembers[n-1] = nil
+		c.freeMembers = c.freeMembers[:n-1]
+		return s[:0]
+	}
+	return make([]PacketID, 0, capHint)
+}
+
+// recycleMembers returns a member slice's storage to the pool.
+func (c *Channel) recycleMembers(s []PacketID) {
+	if cap(s) > 0 {
+		c.freeMembers = append(c.freeMembers, s[:0])
+	}
+}
+
 // prune drops good slots that can no longer start a window ending at or
 // after now because of the window-length cap.
 func (c *Channel) prune(now int64) {
@@ -256,6 +280,8 @@ func (c *Channel) prune(now int64) {
 			delete(c.lastOcc, id)
 			c.stats.PrunedPackets++
 		}
+		c.recycleMembers(c.entries[drop].members)
+		c.entries[drop].members = nil
 		drop++
 	}
 	if drop > 0 {
@@ -268,7 +294,7 @@ func (c *Channel) prune(now int64) {
 // occurrence to it.
 func (c *Channel) record(now int64, txs []PacketID) {
 	abs := c.firstAbs + len(c.entries)
-	entry := goodEntry{slot: now, members: make([]PacketID, 0, len(txs))}
+	entry := goodEntry{slot: now, members: c.newMembers(len(txs))}
 	c.entries = append(c.entries, entry)
 	e := &c.entries[len(c.entries)-1]
 	for _, id := range txs {
@@ -336,6 +362,8 @@ func (c *Channel) reset() {
 		for _, id := range c.entries[i].members {
 			delete(c.lastOcc, id)
 		}
+		c.recycleMembers(c.entries[i].members)
+		c.entries[i].members = nil
 	}
 	c.entries = c.entries[:0]
 	c.firstAbs = 0

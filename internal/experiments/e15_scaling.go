@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+
+	"repro/internal/arrival"
+	"repro/internal/asciiplot"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// E15Scaling probes the large-batch asymptotics of Theorem 16: the
+// bound n(1+10/κ)+O(κ) says completion-time/n settles at (or below)
+// 1+10/κ as n grows, the additive O(κ) term vanishing — measured
+// completion/n in fact falls toward 1, inside the paper's loose
+// constants.  This is the regime
+// the engine's bounded bookkeeping exists for — per-packet state is
+// freed on delivery (memory ∝ MaxBacklog) and latency retention is a
+// fixed-size reservoir, so the batch axis scales to 10^6 packets and
+// beyond; the peakInFlight column documents that the engine never
+// retains more per-packet entries than the backlog peak.
+func E15Scaling(scale Scale, seed uint64) *Output {
+	out := &Output{
+		ID:    "E15",
+		Title: "large-batch scaling: completion/n → 1+10/κ",
+		Claim: "Theorem 16 asymptotics: batch of n done by n(1+10/κ)+O(κ) whp ⇒ completion/n → 1+10/κ as n grows",
+	}
+	kappas := []int{16, 64}
+	ns := []int{10_000, 100_000}
+	if scale == Full {
+		kappas = append(kappas, 256)
+		ns = append(ns, 1_000_000)
+	}
+	trials := scale.pick(2, 3)
+
+	tbl := report.NewTable("Batch completion vs n (mean over trials)",
+		"kappa", "n", "completion", "completion/n", "limit 1+10/κ", "(completion-n)/n", "peakInFlight", "within bound")
+	series := make(map[int]*asciiplot.Series, len(kappas))
+	for _, kappa := range kappas {
+		series[kappa] = &asciiplot.Series{Name: "k=" + strconv.Itoa(kappa)}
+	}
+	for _, kappa := range kappas {
+		limit := 1 + 10/float64(kappa)
+		for _, n := range ns {
+			results := sim.RunTrials(trials, seed+uint64(kappa)*31+uint64(n), 0,
+				func(trial int, s uint64) *sim.Result {
+					return sim.Run(sim.Config{Kappa: kappa, Horizon: 1, Drain: true,
+						DrainLimit: int64(8*n) + 1<<20, Seed: s},
+						core.New(kappa, rng.New(s^0xE15)),
+						&arrival.Batch{At: 0, N: n})
+				})
+			completion := sim.Aggregate(results, func(r *sim.Result) float64 {
+				return float64(r.LastDelivery + 1)
+			})
+			peak := sim.Aggregate(results, func(r *sim.Result) float64 {
+				return float64(r.PeakInFlight)
+			})
+			bound := float64(n)*limit + 4*float64(kappa)
+			norm := completion.Mean() / float64(n)
+			tbl.AddRow(kappa, n, completion.Mean(), norm, limit, norm-1,
+				int64(peak.Max()), boolMark(completion.Max() <= bound))
+			s := series[kappa]
+			s.X = append(s.X, math.Log10(float64(n)))
+			s.Y = append(s.Y, norm)
+		}
+	}
+	out.Tables = append(out.Tables, tbl)
+
+	plot := asciiplot.Plot{
+		Title:  "Normalized batch completion vs log10(n)  (limit: 1+10/κ)",
+		XLabel: "log10(n)", YLabel: "completion/n",
+		Width: 60, Height: 14,
+	}
+	for _, kappa := range kappas {
+		plot.Add(*series[kappa])
+	}
+	out.Plots = append(out.Plots, plot.Render())
+	out.Notes = append(out.Notes,
+		"completion/n falls toward 1 as n grows — inside the paper's 1+10/κ limit (loose constants), with the additive O(κ) term vanishing in the large-batch limit",
+		"peakInFlight == n: the engine's per-packet bookkeeping peaks at the batch backlog and is freed on delivery (memory ∝ MaxBacklog, not arrivals)",
+		"run at -scale full for the n=10^6 × κ ∈ {16,64,256} grid")
+	return out
+}

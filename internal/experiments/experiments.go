@@ -99,6 +99,7 @@ func All() []Runner {
 		{"E12", "decoding-event detector validation (Definition 1)", E12Detector},
 		{"E13", "jamming robustness (beyond-model failure injection)", E13Jamming},
 		{"E14", "decoding-window cap sensitivity (Section 2 practicalities)", E14WindowCap},
+		{"E15", "large-batch scaling (Theorem 16 asymptotics)", E15Scaling},
 	}
 }
 

@@ -7,8 +7,8 @@ import (
 
 func TestAllRegistered(t *testing.T) {
 	runners := All()
-	if len(runners) != 14 {
-		t.Fatalf("expected 14 experiments, have %d", len(runners))
+	if len(runners) != 15 {
+		t.Fatalf("expected 15 experiments, have %d", len(runners))
 	}
 	seen := map[string]bool{}
 	for _, r := range runners {

@@ -1,0 +1,115 @@
+package perf
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCasesDeterministicAndUnique(t *testing.T) {
+	for _, scale := range []Scale{Quick, Full} {
+		a, b := Cases(scale), Cases(scale)
+		if len(a) == 0 {
+			t.Fatalf("%s: empty grid", scale)
+		}
+		seen := make(map[string]bool, len(a))
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: grid not deterministic at %d", scale, i)
+			}
+			k := a[i].Key()
+			if seen[k] {
+				t.Fatalf("%s: duplicate cell key %q", scale, k)
+			}
+			seen[k] = true
+		}
+		if !seen[GateKey(scale)] {
+			t.Fatalf("%s: gate cell %q not in grid", scale, GateKey(scale))
+		}
+	}
+	// Full scale must reach the large-batch regime the tentpole targets.
+	var millionBatch bool
+	for _, c := range Cases(Full) {
+		millionBatch = millionBatch || (c.Protocol == "dba" && c.Workload == "batch" && c.N == 1_000_000)
+	}
+	if !millionBatch {
+		t.Fatal("full grid lost the dba n=10^6 batch cell")
+	}
+}
+
+func TestGridSkipsOversizedBaselineBatches(t *testing.T) {
+	for _, c := range Cases(Full) {
+		if c.Protocol == "beb" && c.Workload == "batch" && c.N > 20_000 {
+			t.Fatalf("beb asked to complete an n=%d batch", c.N)
+		}
+	}
+}
+
+// TestRunQuickArtifact runs the whole quick grid once — the same
+// coverage the CI bench-smoke step exercises through cmd/crnbench —
+// and validates the artifact, including the allocation gate.
+func TestRunQuickArtifact(t *testing.T) {
+	var calls int
+	art := Run(Options{Scale: Quick, Trials: 1, Seed: 2022,
+		OnCell: func(done, total int, m *Measurement) {
+			calls++
+			if m == nil || done < 1 || done > total {
+				t.Fatalf("bad progress call %d/%d %v", done, total, m)
+			}
+		}})
+	if calls != len(Cases(Quick)) {
+		t.Fatalf("progress calls %d, want %d", calls, len(Cases(Quick)))
+	}
+	if err := Check(art, Quick); err != nil {
+		t.Fatal(err)
+	}
+	// The artifact must survive a JSON round trip (what the committed
+	// BENCH_engine.json and the CI smoke re-parse).
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Artifact
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(&back, Quick); err != nil {
+		t.Fatalf("round-tripped artifact invalid: %v", err)
+	}
+	// Batch cells complete their batches; steady cells drain.
+	for _, m := range art.Cells {
+		if m.Delivered != m.Arrivals {
+			t.Fatalf("%s: delivered %d of %d", m.Key, m.Delivered, m.Arrivals)
+		}
+	}
+}
+
+func TestCheckRejects(t *testing.T) {
+	art := Run(Options{Scale: Quick, Trials: 1, Seed: 7})
+	if err := Check(art, Quick); err != nil {
+		t.Fatal(err)
+	}
+	missing := *art
+	missing.Cells = art.Cells[1:]
+	if err := Check(&missing, Quick); err == nil {
+		t.Fatal("missing cell accepted")
+	}
+	dup := *art
+	dup.Cells = append([]Measurement{art.Cells[0]}, art.Cells...)
+	if err := Check(&dup, Quick); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate cell accepted: %v", err)
+	}
+	gated := *art
+	gated.Cells = append([]Measurement(nil), art.Cells...)
+	for i := range gated.Cells {
+		if gated.Cells[i].Key == GateKey(Quick) {
+			gated.Cells[i].AllocsPerSlot = 1.5
+		}
+	}
+	if err := Check(&gated, Quick); err == nil || !strings.Contains(err.Error(), "allocation gate") {
+		t.Fatalf("alloc regression accepted: %v", err)
+	}
+	if err := Check(nil, Quick); err == nil {
+		t.Fatal("nil artifact accepted")
+	}
+}

@@ -50,9 +50,15 @@ type Config struct {
 	Seed uint64
 	// SeriesCap bounds the retained backlog time series (0 = 2048).
 	SeriesCap int
-	// TrackLatency records per-packet latencies (needed for quantiles).
-	// Costs O(total arrivals) memory.
-	TrackLatency bool
+	// LatencySamples bounds the per-packet latencies retained for
+	// Result.LatencyQuantile: 0 selects a DefaultLatencySamples-slot
+	// seeded reservoir, a positive value a reservoir of that capacity,
+	// and LatencySamplesOff (any negative value) disables retention
+	// entirely (quantiles are NaN; the Latency summary still
+	// accumulates).  Memory is O(LatencySamples) regardless of total
+	// arrivals; runs that deliver no more packets than the capacity
+	// retain every latency, so their quantiles are exact.
+	LatencySamples int
 	// Jammer optionally spoils slots with noise (failure injection; see
 	// package jam).  The engine composes it over the medium via
 	// medium.Jam: jammed slots are audibly busy and decode-useless, and
@@ -78,6 +84,17 @@ type Config struct {
 
 // NoWindowCap disables the decoding-window length cap.
 const NoWindowCap = -1
+
+// DefaultLatencySamples is the latency-reservoir capacity selected by
+// Config.LatencySamples = 0.  It is sized so quick-scale runs (and the
+// committed benchmark grid) deliver fewer packets than the capacity and
+// therefore keep exact quantiles, while bounding retention at any n.
+const DefaultLatencySamples = 16384
+
+// LatencySamplesOff disables per-run latency retention in
+// Config.LatencySamples: Result.LatencySample stays nil and
+// LatencyQuantile returns NaN.
+const LatencySamplesOff = -1
 
 func (c *Config) maxWindow() int {
 	switch {
@@ -106,11 +123,18 @@ type Result struct {
 	LastDelivery int64 // -1 if none
 	Elapsed      int64 // total slots simulated (including drain)
 
-	MaxBacklog    int
+	MaxBacklog int
+	// PeakInFlight is the high-water mark of the engine's per-packet
+	// bookkeeping (packets injected but not yet delivered).  Entries
+	// are freed on delivery, so engine memory is proportional to this —
+	// which tracks MaxBacklog — never to total arrivals.
+	PeakInFlight  int
 	BacklogSeries *stats.Series
 
-	Latency   stats.Summary // per delivered packet, in slots
-	Latencies []float64     // raw latencies if Config.TrackLatency
+	Latency stats.Summary // per delivered packet, in slots
+	// LatencySample is the bounded, seeded latency reservoir backing
+	// LatencyQuantile (nil if Config.LatencySamples was negative).
+	LatencySample *stats.Reservoir
 
 	Channel channel.Stats
 }
@@ -125,13 +149,15 @@ func (r *Result) CompletionThroughput() float64 {
 	return float64(r.Delivered) / float64(r.LastDelivery-r.FirstArrival+1)
 }
 
-// LatencyQuantile returns the q-quantile of packet latency; it requires
-// Config.TrackLatency and at least one delivery.
+// LatencyQuantile returns the q-quantile of packet latency from the
+// bounded latency reservoir (NaN with retention disabled or before the
+// first delivery).  Quantiles are exact while deliveries fit the
+// reservoir capacity, estimates from a uniform subsample beyond it.
 func (r *Result) LatencyQuantile(q float64) float64 {
-	if len(r.Latencies) == 0 {
+	if r.LatencySample == nil || r.LatencySample.Len() == 0 {
 		return math.NaN()
 	}
-	return stats.Quantile(r.Latencies, q)
+	return r.LatencySample.Quantile(q)
 }
 
 // SegmentMeanBacklog averages the backlog series over the fraction range
@@ -166,6 +192,42 @@ const jamSeedSalt = 0x4a4d // "JM"
 // both the arrival stream and a legacy Config.Jammer composed in the
 // same run.
 const advSeedSalt = 0x414456 // "ADV"
+
+// latSeedSalt decorrelates the latency reservoir's replacement stream
+// from every other consumer of Config.Seed.
+const latSeedSalt = 0x4c4154 // "LAT"
+
+// inflight tracks the inject slot of every in-flight packet.  Entries
+// are freed on delivery, so the retained bookkeeping is proportional to
+// the instantaneous backlog (peak records the high-water mark) — never
+// to total arrivals — which is what lets batch runs scale to millions
+// of packets in bounded memory.
+type inflight struct {
+	at   map[channel.PacketID]int64
+	peak int
+}
+
+func newInflight() *inflight {
+	return &inflight{at: make(map[channel.PacketID]int64, 64)}
+}
+
+// add records a packet injected at the given slot.
+func (f *inflight) add(id channel.PacketID, slot int64) {
+	f.at[id] = slot
+	if len(f.at) > f.peak {
+		f.peak = len(f.at)
+	}
+}
+
+// take returns a packet's inject slot and frees its entry.
+func (f *inflight) take(id channel.PacketID) int64 {
+	slot, ok := f.at[id]
+	if !ok {
+		panic(fmt.Sprintf("sim: delivery of unknown packet %d", id))
+	}
+	delete(f.at, id)
+	return slot
+}
 
 // Run simulates one execution.
 func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
@@ -214,6 +276,14 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 	if seriesCap == 0 {
 		seriesCap = 2048
 	}
+	var latSample *stats.Reservoir
+	if cfg.LatencySamples >= 0 {
+		latCap := cfg.LatencySamples
+		if latCap == 0 {
+			latCap = DefaultLatencySamples
+		}
+		latSample = stats.NewReservoir(latCap, cfg.Seed^latSeedSalt)
+	}
 	res := &Result{
 		Protocol:      proto.Name(),
 		Arrival:       arr.Name(),
@@ -223,6 +293,7 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 		FirstArrival:  -1,
 		LastDelivery:  -1,
 		BacklogSeries: stats.NewSeries(seriesCap),
+		LatencySample: latSample,
 	}
 	drainLimit := cfg.DrainLimit
 	if drainLimit == 0 {
@@ -241,7 +312,7 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 	observer, hasObserver := arr.(arrival.Observer)
 
 	var nextID channel.PacketID
-	var injectSlot []int64 // inject time by PacketID, for latency
+	fl := newInflight() // inject time per in-flight packet, for latency
 	idBuf := make([]channel.PacketID, 0, 64)
 	txBuf := make([]channel.PacketID, 0, 64)
 	var fb medium.Feedback // reused across slots; the medium fills it
@@ -260,7 +331,7 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 				idBuf = idBuf[:0]
 				for i := 0; i < n; i++ {
 					idBuf = append(idBuf, nextID)
-					injectSlot = append(injectSlot, now)
+					fl.add(nextID, now)
 					nextID++
 				}
 				proto.Inject(now, idBuf)
@@ -282,10 +353,10 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 			res.Delivered += int64(len(ev.Packets))
 			res.LastDelivery = now
 			for _, id := range ev.Packets {
-				lat := float64(now - injectSlot[id] + 1)
+				lat := float64(now - fl.take(id) + 1)
 				res.Latency.Add(lat)
-				if cfg.TrackLatency {
-					res.Latencies = append(res.Latencies, lat)
+				if latSample != nil {
+					latSample.Add(lat)
 				}
 			}
 		}
@@ -305,7 +376,7 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 			if na < 0 {
 				// Nothing pending and no arrivals will ever come.
 				res.Elapsed = now + 1
-				return finish(res, m, proto)
+				return finish(res, m, proto, fl)
 			}
 			next = na
 		} else if hasWaker {
@@ -332,11 +403,12 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 		}
 		now = next
 	}
-	return finish(res, m, proto)
+	return finish(res, m, proto, fl)
 }
 
-func finish(res *Result, m medium.Medium, proto protocol.Protocol) *Result {
+func finish(res *Result, m medium.Medium, proto protocol.Protocol, fl *inflight) *Result {
 	res.Pending = proto.Pending()
+	res.PeakInFlight = fl.peak
 	res.Channel = m.Stats()
 	return res
 }

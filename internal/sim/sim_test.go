@@ -17,7 +17,7 @@ import (
 
 func TestBatchRunDBA(t *testing.T) {
 	const kappa, n = 16, 500
-	res := Run(Config{Kappa: kappa, Horizon: 1, Drain: true, Seed: 1, TrackLatency: true},
+	res := Run(Config{Kappa: kappa, Horizon: 1, Drain: true, Seed: 1},
 		core.New(kappa, rng.New(2)), &arrival.Batch{At: 0, N: n})
 	if res.Arrivals != n {
 		t.Fatalf("arrivals %d", res.Arrivals)
@@ -304,17 +304,112 @@ func TestRunTrialsEdgeCases(t *testing.T) {
 	}
 }
 
-func TestLatencyOmittedWithoutTracking(t *testing.T) {
-	res := Run(Config{Kappa: 8, Horizon: 1, Drain: true, Seed: 1},
+func TestLatencyOmittedWhenSamplingOff(t *testing.T) {
+	res := Run(Config{Kappa: 8, Horizon: 1, Drain: true, Seed: 1, LatencySamples: LatencySamplesOff},
 		core.New(8, rng.New(1)), &arrival.Batch{At: 0, N: 10})
-	if res.Latencies != nil {
-		t.Fatal("latencies recorded without TrackLatency")
+	if res.LatencySample != nil {
+		t.Fatal("latency sample retained with sampling off")
 	}
 	if !math.IsNaN(res.LatencyQuantile(0.5)) {
-		t.Fatal("quantile without tracking should be NaN")
+		t.Fatal("quantile with sampling off should be NaN")
 	}
 	if res.Latency.N() != 10 {
 		t.Fatal("summary should still accumulate")
+	}
+}
+
+func TestLatencySampleBoundedAndExactBelowCap(t *testing.T) {
+	// Default config: the reservoir holds every delivery while the run
+	// fits the capacity (exact quantiles), and a tiny explicit capacity
+	// bounds retention below the delivery count.
+	res := Run(Config{Kappa: 16, Horizon: 1, Drain: true, Seed: 2},
+		core.New(16, rng.New(3)), &arrival.Batch{At: 0, N: 300})
+	if res.LatencySample == nil || res.LatencySample.Len() != 300 || !res.LatencySample.Exact() {
+		t.Fatalf("default reservoir should hold all 300 latencies: %+v", res.LatencySample)
+	}
+	small := Run(Config{Kappa: 16, Horizon: 1, Drain: true, Seed: 2, LatencySamples: 32},
+		core.New(16, rng.New(3)), &arrival.Batch{At: 0, N: 300})
+	if small.LatencySample.Len() != 32 || small.LatencySample.N() != 300 {
+		t.Fatalf("capped reservoir retained %d of %d", small.LatencySample.Len(), small.LatencySample.N())
+	}
+	if q := small.LatencyQuantile(0.5); math.IsNaN(q) || q < 1 {
+		t.Fatalf("subsampled quantile %v", q)
+	}
+}
+
+func TestBookkeepingBoundedByBacklog(t *testing.T) {
+	// 10^5 arrivals paced at rate 0.5 under κ=64: the backlog stays
+	// small, and the engine's per-packet bookkeeping must track the
+	// backlog — entries freed on delivery — not the arrival total.
+	res := Run(Config{Kappa: 64, Horizon: 200_000, Drain: true, Seed: 3},
+		core.New(64, rng.New(4)), arrival.NewEvenPaced(0.5))
+	if res.Arrivals < 99_000 {
+		t.Fatalf("arrivals %d, want ~100000", res.Arrivals)
+	}
+	// Peak in-flight is measured at injection, before the slot's
+	// deliveries; MaxBacklog after them.  They can differ by at most one
+	// slot's arrivals plus one decoding event (≤ 4κ packets).
+	if slack := res.MaxBacklog + 4*64 + 1; res.PeakInFlight > slack {
+		t.Fatalf("bookkeeping peak %d not bounded by backlog %d (+slack)",
+			res.PeakInFlight, res.MaxBacklog)
+	}
+	if int64(res.PeakInFlight)*20 > res.Arrivals {
+		t.Fatalf("bookkeeping peak %d scales with arrivals %d, not backlog %d",
+			res.PeakInFlight, res.Arrivals, res.MaxBacklog)
+	}
+	if res.LatencySample.Len() > DefaultLatencySamples {
+		t.Fatalf("latency retention %d exceeds the reservoir cap", res.LatencySample.Len())
+	}
+}
+
+func TestLargeBatchBoundedBookkeeping(t *testing.T) {
+	// The Theorem 16 asymptotic regime: a 10^6-packet batch at κ=64 must
+	// complete with per-packet bookkeeping bounded by the backlog peak
+	// (== n for a batch) and latency retention bounded by the reservoir —
+	// the scales the former O(arrivals) Latencies slice made impractical.
+	const n, kappa = 1_000_000, 64
+	res := Run(Config{Kappa: kappa, Horizon: 1, Drain: true,
+		DrainLimit: 8*n + 1<<20, Seed: 5},
+		core.New(kappa, rng.New(6)), &arrival.Batch{At: 0, N: n})
+	if res.Delivered != n || res.Pending != 0 {
+		t.Fatalf("delivered %d of %d (pending %d)", res.Delivered, n, res.Pending)
+	}
+	if res.PeakInFlight != n || res.PeakInFlight > res.MaxBacklog {
+		t.Fatalf("bookkeeping peak %d, max backlog %d, want both %d (O(MaxBacklog) bound)",
+			res.PeakInFlight, res.MaxBacklog, n)
+	}
+	if res.LatencySample.Len() != DefaultLatencySamples {
+		t.Fatalf("latency retention %d, want the %d-slot reservoir cap",
+			res.LatencySample.Len(), DefaultLatencySamples)
+	}
+	bound := float64(n)*(1+10.0/kappa) + 4*kappa
+	if got := float64(res.LastDelivery + 1); got > bound {
+		t.Fatalf("completion %v exceeds the Theorem 16 bound %v", got, bound)
+	}
+}
+
+func TestPerSlotPathAllocationFree(t *testing.T) {
+	// The steady-state per-slot path must not allocate: extending the
+	// horizon 10× may add only setup-independent noise, not per-slot
+	// allocations.  (This is the testable form of the benchmark guard —
+	// BenchmarkClassicalPerSlot's 0 allocs/op — and it would fail with
+	// the former O(arrivals) latency retention, whose slice doublings
+	// land in the horizon-dependent delta.)
+	run := func(horizon int64) func() {
+		return func() {
+			res := Run(Config{Horizon: horizon, Seed: 1,
+				Medium: medium.NewClassical(medium.CDTernary)},
+				baseline.NewGenieAloha(rng.New(2), 1), arrival.NewEvenPaced(0.25))
+			if res.Delivered == 0 {
+				t.Fatal("nothing delivered")
+			}
+		}
+	}
+	short := testing.AllocsPerRun(3, run(20_000))
+	long := testing.AllocsPerRun(3, run(200_000))
+	if perSlot := (long - short) / 180_000; perSlot > 0.01 {
+		t.Fatalf("per-slot path allocates: %.4f allocs/slot (short %v, long %v)",
+			perSlot, short, long)
 	}
 }
 
@@ -381,7 +476,7 @@ func TestJammerAlignedAcrossFastForward(t *testing.T) {
 		// between retries, so the fast run skips long stretches the slow
 		// run steps one by one.
 		return Run(Config{Kappa: 1, Horizon: 1, Drain: true, Seed: 92,
-			TrackLatency: true, Jammer: &jam.Random{Rate: 0.25}},
+			Jammer: &jam.Random{Rate: 0.25}},
 			proto, &arrival.Batch{At: 0, N: 8})
 	}
 	fast, slow := run(true), run(false)
@@ -409,7 +504,7 @@ func TestAdaptiveJammerAlignedAcrossFastForward(t *testing.T) {
 			proto = noWake{proto}
 		}
 		return Run(Config{Kappa: 1, Horizon: 1, Drain: true, Seed: 72,
-			TrackLatency: true, Adversary: adversary.NewReactive(1, 16)},
+			Adversary: adversary.NewReactive(1, 16)},
 			proto, &arrival.Batch{At: 0, N: 8})
 	}
 	fast, slow := run(true), run(false)

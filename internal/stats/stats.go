@@ -98,19 +98,24 @@ func Quantile(data []float64, q float64) float64 {
 	return quantileSorted(sorted, q)
 }
 
-// Quantiles returns several quantiles with one sort.
+// Quantiles returns several quantiles with one sort.  Every fraction is
+// validated before the data is sorted, so a bad fraction panics
+// immediately instead of after an O(n log n) sort with the output
+// half-filled.
 func Quantiles(data []float64, qs ...float64) []float64 {
 	if len(data) == 0 {
 		panic("stats: quantile of empty data")
+	}
+	for _, q := range qs {
+		if q < 0 || q > 1 {
+			panic("stats: quantile fraction out of [0,1]")
+		}
 	}
 	sorted := make([]float64, len(data))
 	copy(sorted, data)
 	sort.Float64s(sorted)
 	out := make([]float64, len(qs))
 	for i, q := range qs {
-		if q < 0 || q > 1 {
-			panic("stats: quantile fraction out of [0,1]")
-		}
 		out[i] = quantileSorted(sorted, q)
 	}
 	return out
@@ -198,7 +203,6 @@ func (s *Series) Add(t int64, v float64) {
 	}
 	s.T = append(s.T, t)
 	s.V = append(s.V, v)
-	s.next = t + s.stride
 	if len(s.T) >= s.cap {
 		keepT, keepV := s.T[:0], s.V[:0]
 		for i := 0; i < len(s.T); i += 2 {
@@ -208,6 +212,11 @@ func (s *Series) Add(t int64, v float64) {
 		s.T, s.V = keepT, keepV
 		s.stride *= 2
 	}
+	// The next sample is one (possibly just-doubled) stride after the
+	// last *retained* point; computing it from the pre-compaction stride
+	// would land it an old stride late and skew every later sample off
+	// the uniform grid.
+	s.next = s.T[len(s.T)-1] + s.stride
 }
 
 // Len returns the number of retained points.

@@ -201,3 +201,132 @@ func TestSeriesCapPanics(t *testing.T) {
 	}()
 	NewSeries(1)
 }
+
+func TestSeriesUniformSpacingAcrossCompactions(t *testing.T) {
+	// Regression: Add used to compute the next sample time from the
+	// pre-compaction stride, so the first post-compaction sample landed
+	// one old stride late and every later compaction compounded the
+	// skew.  Under dense input the retained trace must keep uniform
+	// spacing — the documented contract — across several compactions.
+	// An odd cap retains the just-added point at compaction time, which
+	// is the case the old code skewed.
+	for _, capN := range []int{9, 16, 33} {
+		s := NewSeries(capN)
+		for i := int64(0); i < 5000; i++ {
+			s.Add(i, float64(i))
+		}
+		if s.Stride() < 4 {
+			t.Fatalf("cap %d: expected ≥2 compactions, stride %d", capN, s.Stride())
+		}
+		for i := 1; i < s.Len(); i++ {
+			if d := s.T[i] - s.T[i-1]; d != s.Stride() {
+				t.Fatalf("cap %d: spacing %d at index %d, want uniform %d (T=%v)",
+					capN, d, i, s.Stride(), s.T)
+			}
+		}
+	}
+}
+
+func TestQuantilesValidateUpFront(t *testing.T) {
+	// A bad fraction anywhere in the list must panic (before the sort;
+	// the output is never half-filled).
+	for _, qs := range [][]float64{{0.5, -0.1}, {0.5, 1.5}, {2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Quantiles(%v) did not panic", qs)
+				}
+			}()
+			Quantiles([]float64{3, 1, 2}, qs...)
+		}()
+	}
+}
+
+func TestReservoirExactBelowCapacity(t *testing.T) {
+	r := NewReservoir(100, 7)
+	data := []float64{9, 2, 7, 4, 6, 1}
+	for _, x := range data {
+		r.Add(x)
+	}
+	if r.N() != 6 || r.Len() != 6 || !r.Exact() {
+		t.Fatalf("n=%d len=%d exact=%v", r.N(), r.Len(), r.Exact())
+	}
+	// Below capacity the sample is the whole stream: quantiles match the
+	// exact ones.
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		if r.Quantile(q) != Quantile(data, q) {
+			t.Fatalf("q=%v: reservoir %v, exact %v", q, r.Quantile(q), Quantile(data, q))
+		}
+	}
+	qs := r.Quantiles(0.5, 0.99)
+	if qs[0] != Quantile(data, 0.5) || qs[1] != Quantile(data, 0.99) {
+		t.Fatalf("Quantiles mismatch: %v", qs)
+	}
+}
+
+func TestReservoirBoundedAndUniform(t *testing.T) {
+	const capN, n = 64, 100000
+	r := NewReservoir(capN, 11)
+	for i := 0; i < n; i++ {
+		r.Add(float64(i))
+	}
+	if r.Len() != capN || r.N() != n || r.Exact() {
+		t.Fatalf("len=%d n=%d exact=%v", r.Len(), r.N(), r.Exact())
+	}
+	// A uniform sample of 0..n-1 has median near n/2; a reservoir biased
+	// toward either end of the stream would be far off.
+	if med := r.Quantile(0.5); med < 0.25*n || med > 0.75*n {
+		t.Fatalf("median %v of a uniform 0..%d sample", med, n)
+	}
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	sample := func(seed uint64) []float64 {
+		r := NewReservoir(16, seed)
+		for i := 0; i < 1000; i++ {
+			r.Add(float64(i * 3))
+		}
+		out := make([]float64, r.Len())
+		copy(out, r.Values())
+		return out
+	}
+	a, b := sample(5), sample(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := sample(6)
+	same := true
+	for i := range a {
+		same = same && a[i] == c[i]
+	}
+	if same {
+		t.Fatal("different seeds retained identical samples")
+	}
+}
+
+func TestReservoirEmptyAndValidation(t *testing.T) {
+	r := NewReservoir(4, 1)
+	if !math.IsNaN(r.Quantile(0.5)) {
+		t.Fatal("empty reservoir quantile not NaN")
+	}
+	if qs := r.Quantiles(0.5, 0.9); !math.IsNaN(qs[0]) || !math.IsNaN(qs[1]) {
+		t.Fatalf("empty reservoir quantiles %v", qs)
+	}
+	for name, f := range map[string]func(){
+		"cap":          func() { NewReservoir(0, 1) },
+		"bad q":        func() { r.Quantile(-1) },
+		"bad qs":       func() { r.Quantiles(0.5, 2) },
+		"bad qs empty": func() { NewReservoir(4, 1).Quantiles(-0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

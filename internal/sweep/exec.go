@@ -141,15 +141,18 @@ func (s *Spec) config(sc Scenario, seed uint64) sim.Config {
 		panic(err) // Validate rejects bad descriptors
 	}
 	return sim.Config{
-		Kappa:        sc.Kappa,
-		MaxWindow:    s.MaxWindow,
-		Horizon:      s.Horizon,
-		Drain:        !s.NoDrain,
-		DrainLimit:   s.DrainLimit,
-		Seed:         seed,
-		TrackLatency: true,
-		Jammer:       jammer,
-		Adversary:    adv,
-		Medium:       buildMedium(sc),
+		Kappa:      sc.Kappa,
+		MaxWindow:  s.MaxWindow,
+		Horizon:    s.Horizon,
+		Drain:      !s.NoDrain,
+		DrainLimit: s.DrainLimit,
+		Seed:       seed,
+		// Latency retention is bounded (a seeded reservoir), not the
+		// former unconditional full-history tracking whose O(arrivals)
+		// allocation dominated large-horizon sweeps.
+		LatencySamples: s.LatencySamples,
+		Jammer:         jammer,
+		Adversary:      adv,
+		Medium:         buildMedium(sc),
 	}
 }

@@ -63,8 +63,8 @@ func summarize(sc Scenario, trials []trialOut) CellSummary {
 		r := out.res
 		thpt.Add(r.CompletionThroughput())
 		backlog.Add(float64(r.MaxBacklog))
-		if len(r.Latencies) > 0 {
-			qs := stats.Quantiles(r.Latencies, 0.50, 0.99)
+		if r.LatencySample != nil && r.LatencySample.Len() > 0 {
+			qs := r.LatencySample.Quantiles(0.50, 0.99)
 			p50.Add(qs[0])
 			p99.Add(qs[1])
 		}

@@ -91,6 +91,14 @@ type Spec struct {
 	DrainLimit int64 `json:"drain_limit,omitempty"`
 	// MaxWindow caps the decoding window (0 = engine default 4κ).
 	MaxWindow int `json:"max_window,omitempty"`
+	// LatencySamples bounds the per-trial latency sample backing the
+	// quantile columns: 0 keeps the engine default (a
+	// sim.DefaultLatencySamples-slot seeded reservoir), a positive value
+	// sets that capacity, and -1 disables retention (quantile columns go
+	// to zero).  Per-trial memory is O(LatencySamples) instead of the
+	// former O(arrivals); at default quick scales the reservoir holds
+	// every delivery, so quantiles stay exact.
+	LatencySamples int `json:"latency_samples,omitempty"`
 	// Seed drives all randomness; cell and trial seeds derive from it.
 	Seed uint64 `json:"seed"`
 
@@ -214,6 +222,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.MaxWindow < 0 {
 		return fmt.Errorf("sweep: max window %d < 0", s.MaxWindow)
+	}
+	if s.LatencySamples < -1 {
+		return fmt.Errorf("sweep: latency samples %d < -1 (0 = engine default, -1 = off)", s.LatencySamples)
 	}
 	if s.BatchN < 0 {
 		return fmt.Errorf("sweep: batch n %d < 0", s.BatchN)

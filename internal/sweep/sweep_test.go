@@ -512,6 +512,67 @@ func TestAdversaryCellsBehave(t *testing.T) {
 	}
 }
 
+func TestLatencySamplesValidation(t *testing.T) {
+	s := smallSpec()
+	s.LatencySamples = -2
+	if err := s.Validate(); err == nil {
+		t.Fatal("latency samples -2 accepted")
+	}
+	for _, ok := range []int{-1, 0, 64} {
+		s := smallSpec()
+		s.LatencySamples = ok
+		if err := s.Validate(); err != nil {
+			t.Fatalf("latency samples %d rejected: %v", ok, err)
+		}
+	}
+}
+
+func TestLatencySamplesOffDisablesQuantiles(t *testing.T) {
+	s := smallSpec()
+	s.LatencySamples = -1
+	grid, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range grid.Cells {
+		if c.LatencyP50.Mean != 0 || c.LatencyP99.Mean != 0 {
+			t.Fatalf("%s: quantile columns filled with retention off: %+v", c.Key(), c)
+		}
+	}
+}
+
+func TestReservoirQuantilesDeterministicAcrossParallelism(t *testing.T) {
+	// A capacity far below per-cell deliveries forces true reservoir
+	// subsampling; the sampled quantile columns must still be
+	// byte-identical at any parallelism (the reservoir stream is seeded
+	// per trial, not per worker).
+	spec := smallSpec()
+	spec.Horizon = 2000
+	spec.LatencySamples = 16
+	render := func(par int) []byte {
+		grid, err := Run(spec, Options{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range grid.Cells {
+			if c.Delivered > 16*int64(c.Trials) && c.LatencyP50.Mean == 0 {
+				t.Fatalf("%s: subsampled quantiles missing", c.Key())
+			}
+		}
+		data, err := grid.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	serial := render(1)
+	for _, par := range []int{2, 8} {
+		if !bytes.Equal(serial, render(par)) {
+			t.Fatalf("parallelism %d changed reservoir-sampled quantiles", par)
+		}
+	}
+}
+
 func TestParseJammerRejectsNaN(t *testing.T) {
 	s := smallSpec()
 	s.Jammers = []string{"random:NaN"}
