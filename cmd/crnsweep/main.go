@@ -6,9 +6,18 @@
 // reproduce byte-identical output at any parallelism — adaptive
 // adversaries included — so sweep results are diffable across commits.
 //
+// Execution is shardable, cacheable, and resumable (DESIGN.md §6.2):
+// -shard k/N runs the k-th of N balanced slices of the grid and writes
+// a mergeable shard artifact; -cache-dir persists every completed cell
+// as a content-addressed record, and -resume re-executes only the cells
+// whose records are missing; -merge reassembles shard artifacts into
+// the full grid, verifying they cover exactly one spec.  Merged (and
+// resumed) output is byte-identical to a single-process run.
+//
 // Usage:
 //
-//	crnsweep [-spec file.json] [grid flags] [-json path] [-csv path] [-bench path]
+//	crnsweep [-spec file.json] [grid flags] [-shard k/N] [-cache-dir dir [-resume]] [-json path] [-csv path] [-bench path]
+//	crnsweep -merge [-json path] [-csv path] [-bench path] shard1.json shard2.json ...
 //
 // Examples:
 //
@@ -19,62 +28,130 @@
 //	crnsweep -jammers none,random:0.2 -csv out/sweep.csv
 //	crnsweep -adversaries none,reactive:8/64,sigmarho:500/0.2  # adversary grid
 //	crnsweep -bench BENCH_sweep.json            # diffable benchmark artifact
+//	crnsweep -spec sweep.json -shard 2/4 -json shard2.json  # one of 4 shards
+//	crnsweep -merge -json full.json shard*.json # reassemble the full grid
+//	crnsweep -spec sweep.json -cache-dir .sweep-cache -resume  # redo only missing cells
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/report"
 	"repro/internal/sweep"
 )
 
+// errFlagParse marks errors the FlagSet has already written to stderr,
+// so main exits non-zero without printing them a second time.
+var errFlagParse = errors.New("flag parse error")
+
 func main() {
-	specPath := flag.String("spec", "", "JSON sweep spec file (grid flags are ignored if set)")
-	name := flag.String("name", "", "sweep name recorded in artifacts")
-	models := flag.String("models", "coded", "comma-separated channel models: coded, classical, classical:none, classical:binary, classical:ternary")
-	protocols := flag.String("protocols", "dba,genie", "comma-separated protocols: dba, beb, aloha, genie, mw")
-	arrivals := flag.String("arrivals", "bernoulli", "comma-separated arrivals: batch, bernoulli, poisson, even, burst")
-	kappas := flag.String("kappas", "8,64", "comma-separated decoding thresholds")
-	rates := flag.String("rates", "0.3,0.6", "comma-separated offered loads")
-	jammers := flag.String("jammers", "none", "comma-separated jammers: none, random:RATE, periodic:PERIOD/BURST")
-	adversaries := flag.String("adversaries", "none", "comma-separated adversaries: none, random:RATE, burst:B/GAP, reactive:TRIGGER/BURST, sigmarho:SIGMA/RHO")
-	trials := flag.Int("trials", 2, "independent trials per cell")
-	horizon := flag.Int64("horizon", 20000, "arrival horizon in slots")
-	noDrain := flag.Bool("no-drain", false, "stop at the horizon instead of draining")
-	maxWindow := flag.Int("max-window", 0, "decoding-window cap (0 = default 4κ)")
-	latencySamples := flag.Int("latency-samples", 0, "per-trial latency reservoir capacity (0 = engine default, -1 = off)")
-	seed := flag.Uint64("seed", 1, "base random seed")
-	parallelism := flag.Int("parallelism", 0, "concurrent trials (0 = GOMAXPROCS)")
-	jsonPath := flag.String("json", "", "write the grid as JSON to this path ('-' = stdout)")
-	csvPath := flag.String("csv", "", "write the grid as CSV to this path ('-' = stdout)")
-	benchPath := flag.String("bench", "", "write the compact benchmark artifact (per-cell headline means) to this path")
-	quiet := flag.Bool("quiet", false, "suppress the table and progress output")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintf(os.Stderr, "crnsweep: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run is main minus the process boundary, so flag handling and the
+// merge/shard/resume paths are testable in-process.
+func run(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("crnsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	specPath := fs.String("spec", "", "JSON sweep spec file (grid flags are ignored if set)")
+	name := fs.String("name", "", "sweep name recorded in artifacts")
+	models := fs.String("models", "coded", "comma-separated channel models: coded, classical, classical:none, classical:binary, classical:ternary")
+	protocols := fs.String("protocols", "dba,genie", "comma-separated protocols: dba, beb, aloha, genie, mw")
+	arrivals := fs.String("arrivals", "bernoulli", "comma-separated arrivals: batch, bernoulli, poisson, even, burst")
+	kappas := fs.String("kappas", "8,64", "comma-separated decoding thresholds")
+	rates := fs.String("rates", "0.3,0.6", "comma-separated offered loads")
+	jammers := fs.String("jammers", "none", "comma-separated jammers: none, random:RATE, periodic:PERIOD/BURST")
+	adversaries := fs.String("adversaries", "none", "comma-separated adversaries: none, random:RATE, burst:B/GAP, reactive:TRIGGER/BURST, sigmarho:SIGMA/RHO")
+	trials := fs.Int("trials", 2, "independent trials per cell")
+	horizon := fs.Int64("horizon", 20000, "arrival horizon in slots")
+	noDrain := fs.Bool("no-drain", false, "stop at the horizon instead of draining")
+	maxWindow := fs.Int("max-window", 0, "decoding-window cap (0 = default 4κ)")
+	latencySamples := fs.Int("latency-samples", 0, "per-trial latency reservoir capacity (0 = engine default, -1 = off)")
+	seed := fs.Uint64("seed", 1, "base random seed")
+	parallelism := fs.Int("parallelism", 0, "concurrent trials (0 = GOMAXPROCS)")
+	shardFlag := fs.String("shard", "", "run only slice k/N of the grid (e.g. 2/4) and write a mergeable shard artifact")
+	cacheDir := fs.String("cache-dir", "", "persist each completed cell as a content-addressed record in this directory")
+	resume := fs.Bool("resume", false, "with -cache-dir: load already-cached cells and execute only the missing ones")
+	merge := fs.Bool("merge", false, "merge shard artifacts (positional args) into the full grid instead of running")
+	jsonPath := fs.String("json", "", "write the grid (or shard artifact) as JSON to this path ('-' = stdout)")
+	csvPath := fs.String("csv", "", "write the grid as CSV to this path ('-' = stdout)")
+	benchPath := fs.String("bench", "", "write the compact benchmark artifact (per-cell headline means) to this path")
+	quiet := fs.Bool("quiet", false, "suppress the table and progress output")
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h is a successful exit, not an error
+		}
+		return errFlagParse // the FlagSet already printed the problem
+	}
+
+	if *merge {
+		if fs.NArg() == 0 {
+			return fmt.Errorf("-merge needs shard artifact files as arguments")
+		}
+		return runMerge(fs.Args(), *jsonPath, *csvPath, *benchPath, *quiet, stdout, stderr)
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v (shard files are only accepted with -merge)", fs.Args())
+	}
+	if *resume && *cacheDir == "" {
+		return fmt.Errorf("-resume needs -cache-dir (there is no cache to resume from)")
+	}
+
+	var shard sweep.Shard
+	if *shardFlag != "" {
+		var err error
+		if shard, err = sweep.ParseShard(*shardFlag); err != nil {
+			return err
+		}
+	}
+	sharded := !shard.IsAll()
+	if sharded && (*csvPath != "" || *benchPath != "") {
+		return fmt.Errorf("-csv/-bench describe the full grid; run -merge over the shard artifacts instead")
+	}
+	if sharded && *jsonPath == "" {
+		return fmt.Errorf("-shard produces a shard artifact; pass -json to say where it goes")
+	}
 
 	var spec sweep.Spec
 	if *specPath != "" {
 		data, err := os.ReadFile(*specPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		parsed, err := sweep.ParseSpec(data)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		spec = *parsed
 	} else {
+		ints, err := parseInts(*kappas)
+		if err != nil {
+			return err
+		}
+		floats, err := parseFloats(*rates)
+		if err != nil {
+			return err
+		}
 		spec = sweep.Spec{
 			Name:           *name,
 			Models:         splitList(*models),
 			Protocols:      splitList(*protocols),
 			Arrivals:       splitList(*arrivals),
-			Kappas:         parseInts(*kappas),
-			Rates:          parseFloats(*rates),
+			Kappas:         ints,
+			Rates:          floats,
 			Jammers:        splitList(*jammers),
 			Adversaries:    splitList(*adversaries),
 			Trials:         *trials,
@@ -85,59 +162,132 @@ func main() {
 			Seed:           *seed,
 		}
 		if err := spec.Validate(); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
-	opts := sweep.Options{Parallelism: *parallelism}
+	opts := sweep.Options{Parallelism: *parallelism, Resume: *resume}
+	if *cacheDir != "" {
+		store, err := cache.Open(*cacheDir)
+		if err != nil {
+			return err
+		}
+		opts.Cache = store
+	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "crnsweep: %d cells × %d trials\n", spec.Cells(), spec.Trials)
-		opts.OnCell = func(done, total int, cell *sweep.CellSummary) {
-			fmt.Fprintf(os.Stderr, "  [%d/%d] %s thpt=%.3f\n",
-				done, total, cell.Key(), cell.Throughput.Mean)
+		total := spec.Cells()
+		if sharded {
+			fmt.Fprintf(stderr, "crnsweep: shard %s of %d cells × %d trials\n", shard, total, spec.Trials)
+		} else {
+			fmt.Fprintf(stderr, "crnsweep: %d cells × %d trials\n", total, spec.Trials)
+		}
+		opts.OnCell = func(done, total int, cell *sweep.CellSummary, cached bool) {
+			suffix := ""
+			if cached {
+				suffix = " (cached)"
+			}
+			fmt.Fprintf(stderr, "  [%d/%d] %s thpt=%.3f%s\n",
+				done, total, cell.Key(), cell.Throughput.Mean, suffix)
 		}
 	}
 	start := time.Now()
-	grid, err := sweep.Run(spec, opts)
-	if err != nil {
-		fatal(err)
-	}
+
 	// When an artifact streams to stdout, keep stdout machine-clean: the
 	// table would corrupt the JSON/CSV a pipe consumes.
 	stdoutTaken := *jsonPath == "-" || *csvPath == "-"
-	if !*quiet {
-		fmt.Fprintf(os.Stderr, "crnsweep: completed in %v\n\n", time.Since(start).Round(time.Millisecond))
-		if !stdoutTaken {
-			fmt.Print(grid.Table().String())
+
+	if sharded {
+		res, err := sweep.RunShard(spec, shard, opts)
+		if err != nil {
+			return err
 		}
+		if !*quiet {
+			fmt.Fprintf(stderr, "crnsweep: shard %s (%d/%d cells) completed in %v\n",
+				shard, len(res.Cells), res.TotalCells, time.Since(start).Round(time.Millisecond))
+		}
+		if *jsonPath != "" {
+			data, err := res.JSON()
+			if err != nil {
+				return err
+			}
+			data = append(data, '\n')
+			if *jsonPath == "-" {
+				if _, err := stdout.Write(data); err != nil {
+					return err
+				}
+			} else if err := report.SaveFile(*jsonPath, data); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
-	if *jsonPath != "" {
-		if *jsonPath == "-" {
-			if err := report.WriteJSON(os.Stdout, grid); err != nil {
-				fatal(err)
-			}
-		} else if err := report.SaveJSON(*jsonPath, grid); err != nil {
-			fatal(err)
+	grid, err := sweep.Run(spec, opts)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(stderr, "crnsweep: completed in %v\n\n", time.Since(start).Round(time.Millisecond))
+		if !stdoutTaken {
+			fmt.Fprint(stdout, grid.Table().String())
 		}
 	}
-	if *csvPath != "" {
-		if *csvPath == "-" {
-			fmt.Print(grid.CSV())
-		} else if err := os.WriteFile(*csvPath, []byte(grid.CSV()), 0o644); err != nil {
-			fatal(err)
-		}
-	}
-	if *benchPath != "" {
-		if err := report.SaveJSON(*benchPath, grid.Bench()); err != nil {
-			fatal(err)
-		}
-	}
+	return writeGrid(grid, *jsonPath, *csvPath, *benchPath, stdout)
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "crnsweep: %v\n", err)
-	os.Exit(1)
+// runMerge reassembles shard artifacts into the full grid and writes
+// the requested outputs — byte-identical to an unsharded run's.
+func runMerge(paths []string, jsonPath, csvPath, benchPath string, quiet bool, stdout, stderr io.Writer) error {
+	shards := make([]*sweep.ShardResult, 0, len(paths))
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		res, err := sweep.ParseShardResult(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		shards = append(shards, res)
+	}
+	grid, err := sweep.Merge(shards)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(stderr, "crnsweep: merged %d shards into %d cells\n", len(shards), len(grid.Cells))
+		if jsonPath != "-" && csvPath != "-" {
+			fmt.Fprint(stdout, grid.Table().String())
+		}
+	}
+	return writeGrid(grid, jsonPath, csvPath, benchPath, stdout)
+}
+
+// writeGrid emits the grid's JSON/CSV/bench artifacts ('-' = stdout;
+// file writes are atomic).
+func writeGrid(grid *sweep.Grid, jsonPath, csvPath, benchPath string, stdout io.Writer) error {
+	if jsonPath != "" {
+		if jsonPath == "-" {
+			if err := report.WriteJSON(stdout, grid); err != nil {
+				return err
+			}
+		} else if err := report.SaveJSON(jsonPath, grid); err != nil {
+			return err
+		}
+	}
+	if csvPath != "" {
+		if csvPath == "-" {
+			fmt.Fprint(stdout, grid.CSV())
+		} else if err := report.SaveFile(csvPath, []byte(grid.CSV())); err != nil {
+			return err
+		}
+	}
+	if benchPath != "" {
+		if err := report.SaveJSON(benchPath, grid.Bench()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func splitList(s string) []string {
@@ -150,26 +300,26 @@ func splitList(s string) []string {
 	return out
 }
 
-func parseInts(s string) []int {
+func parseInts(s string) ([]int, error) {
 	var out []int
 	for _, part := range splitList(s) {
 		v, err := strconv.Atoi(part)
 		if err != nil {
-			fatal(fmt.Errorf("bad integer %q", part))
+			return nil, fmt.Errorf("bad integer %q", part)
 		}
 		out = append(out, v)
 	}
-	return out
+	return out, nil
 }
 
-func parseFloats(s string) []float64 {
+func parseFloats(s string) ([]float64, error) {
 	var out []float64
 	for _, part := range splitList(s) {
 		v, err := strconv.ParseFloat(part, 64)
 		if err != nil {
-			fatal(fmt.Errorf("bad number %q", part))
+			return nil, fmt.Errorf("bad number %q", part)
 		}
 		out = append(out, v)
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/sweep"
+)
+
+// tinyArgs is a grid small enough for in-process end-to-end runs.
+func tinyArgs(extra ...string) []string {
+	args := []string{
+		"-protocols", "genie", "-arrivals", "batch", "-kappas", "4",
+		"-rates", "0.5", "-trials", "1", "-horizon", "200", "-quiet",
+	}
+	return append(args, extra...)
+}
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, err error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err = run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), err
+}
+
+func TestInvalidShardSpecsRejected(t *testing.T) {
+	for _, bad := range []string{"0/4", "5/4", "garbage", "1/0", "-1/2", "1/"} {
+		_, _, err := runCLI(t, tinyArgs("-shard", bad)...)
+		if err == nil || !strings.Contains(err.Error(), "shard") {
+			t.Errorf("-shard %q: err = %v, want a shard parse error", bad, err)
+		}
+	}
+}
+
+func TestResumeRequiresCacheDir(t *testing.T) {
+	_, _, err := runCLI(t, tinyArgs("-resume")...)
+	if err == nil || !strings.Contains(err.Error(), "-cache-dir") {
+		t.Fatalf("err = %v, want the -resume/-cache-dir error", err)
+	}
+}
+
+func TestShardRejectsFullGridArtifacts(t *testing.T) {
+	for _, flag := range []string{"-csv", "-bench"} {
+		_, _, err := runCLI(t, tinyArgs("-shard", "1/2", flag, filepath.Join(t.TempDir(), "x"))...)
+		if err == nil || !strings.Contains(err.Error(), "-merge") {
+			t.Errorf("%s under -shard: err = %v, want the merge-first error", flag, err)
+		}
+	}
+}
+
+func TestShardRequiresJSONOutput(t *testing.T) {
+	_, _, err := runCLI(t, tinyArgs("-shard", "1/2")...)
+	if err == nil || !strings.Contains(err.Error(), "-json") {
+		t.Fatalf("err = %v, want the shard-needs-json error", err)
+	}
+}
+
+func TestHelpIsNotAnError(t *testing.T) {
+	_, stderr, err := runCLI(t, "-h")
+	if err != nil {
+		t.Fatalf("-h returned %v, want nil (exit 0)", err)
+	}
+	if !strings.Contains(stderr, "Usage") && !strings.Contains(stderr, "-shard") {
+		t.Fatalf("usage not printed:\n%s", stderr)
+	}
+}
+
+func TestBadFlagReportedOnce(t *testing.T) {
+	_, stderr, err := runCLI(t, "-no-such-flag")
+	if err == nil {
+		t.Fatal("undefined flag accepted")
+	}
+	// The FlagSet already printed the problem; main suppresses the
+	// sentinel, so the message appears exactly once.
+	if n := strings.Count(stderr, "flag provided but not defined"); n != 1 {
+		t.Fatalf("flag error printed %d times:\n%s", n, stderr)
+	}
+}
+
+func TestMergeNeedsArguments(t *testing.T) {
+	_, _, err := runCLI(t, "-merge", "-quiet")
+	if err == nil || !strings.Contains(err.Error(), "shard artifact") {
+		t.Fatalf("err = %v, want the missing-arguments error", err)
+	}
+}
+
+func TestPositionalArgsOutsideMergeRejected(t *testing.T) {
+	_, _, err := runCLI(t, tinyArgs("shard1.json")...)
+	if err == nil || !strings.Contains(err.Error(), "-merge") {
+		t.Fatalf("err = %v, want the unexpected-arguments error", err)
+	}
+}
+
+// writeShard runs one shard in-process and saves its artifact.
+func writeShard(t *testing.T, spec sweep.Spec, k, n int, path string) {
+	t.Helper()
+	res, err := sweep.RunShard(spec, sweep.Shard{Index: k, Count: n}, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.SaveFile(path, append(data, '\n')); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func tinySpec(seed uint64) sweep.Spec {
+	return sweep.Spec{
+		Protocols: []string{"genie"}, Arrivals: []string{"batch"},
+		Kappas: []int{4, 8}, Rates: []float64{0.5},
+		Trials: 1, Horizon: 200, Seed: seed,
+	}
+}
+
+func TestMergeRefusesMismatchedSpecHashes(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	writeShard(t, tinySpec(1), 1, 2, a)
+	writeShard(t, tinySpec(2), 2, 2, b) // same shape, different seed
+	_, _, err := runCLI(t, "-merge", "-quiet", a, b)
+	if err == nil || !strings.Contains(err.Error(), "spec hash mismatch") {
+		t.Fatalf("err = %v, want the spec-hash mismatch error", err)
+	}
+}
+
+func TestCLIShardMergeMatchesUnsharded(t *testing.T) {
+	// End-to-end through the CLI glue: run 2 shards and an unsharded
+	// grid via run(), merge the shard files, compare bytes.
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.json")
+	if _, _, err := runCLI(t, tinyArgs("-kappas", "4,8", "-json", full)...); err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 2; k++ {
+		args := tinyArgs("-kappas", "4,8",
+			"-shard", fmt.Sprintf("%d/2", k),
+			"-json", filepath.Join(dir, fmt.Sprintf("shard%d.json", k)))
+		if _, _, err := runCLI(t, args...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := filepath.Join(dir, "merged.json")
+	if _, _, err := runCLI(t, "-merge", "-quiet", "-json", merged,
+		filepath.Join(dir, "shard2.json"), filepath.Join(dir, "shard1.json")); err != nil {
+		t.Fatal(err)
+	}
+	want := mustRead(t, full)
+	got := mustRead(t, merged)
+	if !bytes.Equal(want, got) {
+		t.Fatal("CLI merged JSON differs from unsharded run")
+	}
+}
+
+func TestCLIResumeUsesCache(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	first := filepath.Join(dir, "first.json")
+	if _, _, err := runCLI(t, tinyArgs("-cache-dir", cacheDir, "-json", first)...); err != nil {
+		t.Fatal(err)
+	}
+	// Resumed, fully warm: no cell executes, artifact identical, and the
+	// progress log marks cells as cached.
+	second := filepath.Join(dir, "second.json")
+	args := []string{
+		"-protocols", "genie", "-arrivals", "batch", "-kappas", "4",
+		"-rates", "0.5", "-trials", "1", "-horizon", "200",
+		"-cache-dir", cacheDir, "-resume", "-json", second,
+	}
+	var out, errBuf bytes.Buffer
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "(cached)") {
+		t.Fatalf("progress log missing cache marks:\n%s", errBuf.String())
+	}
+	if !bytes.Equal(mustRead(t, first), mustRead(t, second)) {
+		t.Fatal("resumed CLI artifact differs")
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

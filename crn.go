@@ -4,6 +4,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/arrival"
 	"repro/internal/baseline"
+	"repro/internal/cache"
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/jam"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // PacketID identifies a packet; the engine assigns IDs in arrival order.
@@ -290,6 +292,68 @@ func Run(cfg Config, proto Protocol, arr Arrivals) *Result {
 func RunTrials(n int, baseSeed uint64, parallelism int, f func(trial int, seed uint64) *Result) []*Result {
 	return sim.RunTrials(n, baseSeed, parallelism, f)
 }
+
+// SweepSpec declares a scenario grid: the cross-product of channel
+// models × protocols × arrivals × κ × rates × jammers × adversaries,
+// with per-cell trial counts and engine settings; see RunSweep.
+type SweepSpec = sweep.Spec
+
+// SweepGrid is a completed sweep: the normalized spec plus one
+// aggregated summary per cell, serializing to deterministic JSON/CSV.
+type SweepGrid = sweep.Grid
+
+// SweepOptions tunes sweep execution: parallelism, progress callbacks,
+// and the cache/resume pair (see OpenSweepCache).
+type SweepOptions = sweep.Options
+
+// SweepShard selects a balanced 1-based slice k/N of a grid's cells;
+// the zero value means the whole grid.  See RunSweepShard.
+type SweepShard = sweep.Shard
+
+// SweepShardResult is one shard's mergeable artifact; see
+// MergeSweepShards.
+type SweepShardResult = sweep.ShardResult
+
+// SweepCache is a directory of content-addressed completed-cell
+// records; passing one in SweepOptions makes sweeps resumable.
+type SweepCache = cache.Store
+
+// SweepSchemaVersion names the engine semantics sweep cell identities
+// are minted under; cache records and shard artifacts from other
+// versions never merge.
+const SweepSchemaVersion = sweep.SchemaVersion
+
+// ParseSweepSpec decodes and validates a JSON sweep spec.
+func ParseSweepSpec(data []byte) (*SweepSpec, error) { return sweep.ParseSpec(data) }
+
+// ParseSweepShard decodes a "k/N" shard descriptor with 1 ≤ k ≤ N.
+func ParseSweepShard(desc string) (SweepShard, error) { return sweep.ParseShard(desc) }
+
+// RunSweep executes every cell of the spec's grid in parallel.  Same
+// spec + same seed ⇒ byte-identical artifacts at any parallelism, and —
+// with a cache in opts — across interruptions (completed cells resume
+// from their records).
+func RunSweep(spec SweepSpec, opts SweepOptions) (*SweepGrid, error) {
+	return sweep.Run(spec, opts)
+}
+
+// RunSweepShard executes one balanced slice of the spec's grid, seeding
+// each trial exactly as an unsharded run would, and returns the shard
+// artifact MergeSweepShards reassembles.
+func RunSweepShard(spec SweepSpec, sh SweepShard, opts SweepOptions) (*SweepShardResult, error) {
+	return sweep.RunShard(spec, sh, opts)
+}
+
+// MergeSweepShards reassembles shard artifacts into the full grid,
+// verifying they carry one spec (by content hash) and cover its
+// expansion exactly; the result is byte-identical to an unsharded run.
+func MergeSweepShards(shards []*SweepShardResult) (*SweepGrid, error) {
+	return sweep.Merge(shards)
+}
+
+// OpenSweepCache opens (creating if needed) a sweep cell cache rooted
+// at dir, for SweepOptions.Cache/Resume.
+func OpenSweepCache(dir string) (*SweepCache, error) { return cache.Open(dir) }
 
 // TheoremRate returns Theorem 11's guaranteed-stable arrival rate,
 // 1 − 5/ln κ (non-positive for κ ≤ e⁵ ≈ 148: the constants are loose).

@@ -3,6 +3,8 @@ package crn
 import (
 	"math"
 	"testing"
+
+	"repro/internal/sweep"
 )
 
 func TestQuickstartFlow(t *testing.T) {
@@ -253,5 +255,73 @@ func TestFacadeConstructorsValidate(t *testing.T) {
 	mustPanic("reactive 0", func() { NewReactiveJammer(0, 5) })
 	if !IsAdaptiveAdversary(NewReactiveJammer(2, 8)) || IsAdaptiveAdversary(NewBurstJammer(1, 9)) {
 		t.Fatal("IsAdaptiveAdversary misclassifies")
+	}
+}
+
+func TestSweepFacadeShardResumeMerge(t *testing.T) {
+	// The facade drives the sharded/cached sweep subsystem end to end:
+	// two shards into a shared cache, merged byte-identical to an
+	// unsharded run, then a fully-warm resume that executes nothing.
+	spec := SweepSpec{
+		Protocols: []string{"genie"}, Arrivals: []string{"batch"},
+		Kappas: []int{4, 8}, Rates: []float64{0.5},
+		Trials: 1, Horizon: 200, Seed: 5,
+	}
+	grid, err := RunSweep(spec, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := grid.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := OpenSweepCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := ParseSweepShard("1/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shards []*SweepShardResult
+	for _, sh := range []SweepShard{sh, {Index: 2, Count: 2}} {
+		res, err := RunSweepShard(spec, sh, SweepOptions{Cache: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, res)
+	}
+	merged, err := MergeSweepShards(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := merged.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want) != string(got) {
+		t.Fatal("merged facade sweep differs from unsharded run")
+	}
+
+	executed := 0
+	resumed, err := RunSweep(spec, SweepOptions{Cache: store, Resume: true,
+		OnCell: func(done, total int, cell *sweep.CellSummary, cached bool) {
+			if !cached {
+				executed++
+			}
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed != 0 {
+		t.Fatalf("warm resume executed %d cells, want 0", executed)
+	}
+	data, err := resumed.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want) != string(data) {
+		t.Fatal("resumed facade sweep differs from unsharded run")
 	}
 }

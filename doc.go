@@ -68,7 +68,17 @@
 // aggregates.  Artifacts are deterministic: the same spec and seed
 // reproduce byte-identical bytes at any parallelism, so sweep results
 // (and the BENCH_sweep.json benchmark artifact) are diffable across
-// commits.  cmd/experiments accepts -parallel to run the E1–E15
+// commits.
+//
+// Sweep execution is also sharded, cacheable, and resumable (DESIGN.md
+// §6.2): -shard k/N runs a balanced slice of the grid and -merge
+// reassembles shard artifacts byte-identically to an unsharded run,
+// while -cache-dir/-resume persist completed cells as content-addressed
+// records so an interrupted sweep re-executes only what is missing.
+// The same machinery is exported here as RunSweep, RunSweepShard,
+// MergeSweepShards, and OpenSweepCache.
+//
+// cmd/experiments accepts -parallel to run the E1–E15
 // reproduction harness concurrently and -json for the same
 // machine-readable treatment; cmd/crnbench times the engine itself
 // across a deterministic perf grid into BENCH_engine.json.

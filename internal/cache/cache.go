@@ -1,0 +1,107 @@
+// Package cache is a content-addressed JSON record store: each record
+// is one file named by the caller-supplied identity (a hex digest of
+// whatever makes the record's content deterministic), written atomically
+// so a killed process never leaves a truncated record behind.  The sweep
+// layer uses it to persist completed grid cells — a resumed or re-run
+// sweep executes only the cells whose identities are missing.
+//
+// The store is deliberately dumb: it neither computes identities nor
+// interprets records.  Identity computation (what invalidates what)
+// belongs to the caller; see internal/sweep's cell-identity hash.
+package cache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/report"
+)
+
+// Store is a directory of content-addressed JSON records.
+type Store struct {
+	dir string
+}
+
+// Open returns a store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// validID gates record identities to lowercase-hex digests: ids become
+// file names, so anything else (path separators, "..", empty) is a bug
+// in the caller, not a cache miss.
+func validID(id string) bool {
+	if len(id) < 16 || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Path returns the file a record with the given identity lives at.
+func (s *Store) Path(id string) string { return filepath.Join(s.dir, id+".json") }
+
+// Get loads the record with the given identity into v.  A missing or
+// undecodable record is a miss (false, nil) — a corrupt file is
+// indistinguishable from an absent one by design, so a damaged cache
+// degrades to re-execution rather than a failed run.  Only a malformed
+// id or a real I/O error (permissions, not-a-file) is an error.
+func (s *Store) Get(id string, v interface{}) (bool, error) {
+	if !validID(id) {
+		return false, fmt.Errorf("cache: malformed record id %q", id)
+	}
+	data, err := os.ReadFile(s.Path(id))
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("cache: %w", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return false, nil // corrupt record = miss; Put will overwrite it
+	}
+	return true, nil
+}
+
+// Put stores v as the record with the given identity, atomically
+// replacing any previous record.
+func (s *Store) Put(id string, v interface{}) error {
+	if !validID(id) {
+		return fmt.Errorf("cache: malformed record id %q", id)
+	}
+	if err := report.SaveJSON(s.Path(id), v); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}
+
+// Len counts the records currently in the store.
+func (s *Store) Len() (int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("cache: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,123 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type rec struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+const id1 = "0123456789abcdef0123456789abcdef"
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rec{Name: "cell", Value: 0.1 + 0.2}
+	if err := s.Put(id1, &want); err != nil {
+		t.Fatal(err)
+	}
+	var got rec
+	ok, err := s.Get(id1, &got)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if got != want {
+		t.Fatalf("round trip changed the record: %+v != %+v", got, want)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got rec
+	ok, err := s.Get(id1, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("missing record reported as a hit")
+	}
+}
+
+func TestCorruptRecordIsAMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A truncated/corrupt record must degrade to re-execution, not a
+	// failed run.
+	if err := os.WriteFile(s.Path(id1), []byte(`{"name": "cel`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got rec
+	ok, err := s.Get(id1, &got)
+	if err != nil || ok {
+		t.Fatalf("corrupt record: ok=%v err=%v, want miss", ok, err)
+	}
+	// And Put must atomically replace it.
+	if err := s.Put(id1, &rec{Name: "fresh"}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s.Get(id1, &got); err != nil || !ok || got.Name != "fresh" {
+		t.Fatalf("overwrite failed: ok=%v err=%v got=%+v", ok, err, got)
+	}
+}
+
+func TestMalformedIDsRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"", "short", "../../../../etc/passwd", "0123456789ABCDEF0123456789ABCDEF",
+		"0123456789abcdef/123456789abcdef", strings.Repeat("a", 200),
+	} {
+		if err := s.Put(bad, &rec{}); err == nil {
+			t.Errorf("Put accepted id %q", bad)
+		}
+		var got rec
+		if _, err := s.Get(bad, &got); err == nil {
+			t.Errorf("Get accepted id %q", bad)
+		}
+	}
+}
+
+func TestNoTempDebrisAfterPut(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(id1, &rec{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != filepath.Base(s.Path(id1)) {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("unexpected directory contents: %v", names)
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open accepted an empty directory")
+	}
+}

@@ -25,20 +25,49 @@ func WriteJSON(w io.Writer, v interface{}) error {
 }
 
 // SaveJSON writes v's JSON rendering to path, creating parent
-// directories as needed.
+// directories as needed.  The write is atomic (SaveFile), so an
+// interrupted run never leaves a truncated artifact behind.
 func SaveJSON(path string, v interface{}) error {
-	if dir := filepath.Dir(path); dir != "." && dir != "" {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	return SaveFile(path, append(data, '\n'))
+}
+
+// SaveFile writes data to path atomically: the bytes land in a
+// temporary file in the same directory, which is renamed over path only
+// after a complete write.  A reader (or a resumed run) therefore sees
+// either the previous artifact or the new one, never a truncated mix —
+// the invariant the sweep cache and resume layers are built on.  Parent
+// directories are created as needed.
+func SaveFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if dir != "." && dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return fmt.Errorf("report: %w", err)
 		}
 	}
-	f, err := os.Create(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("report: %w", err)
 	}
-	defer f.Close()
-	if err := WriteJSON(f, v); err != nil {
-		return err
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("report: %w", err)
 	}
-	return f.Close()
+	// CreateTemp's 0600 would make artifacts unreadable to other users;
+	// match the 0644 the non-atomic writers used (modulo umask).
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return fmt.Errorf("report: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	return nil
 }

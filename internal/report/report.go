@@ -5,7 +5,6 @@ package report
 import (
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"strings"
 )
@@ -144,15 +143,8 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
-// SaveCSV writes the table's CSV rendering to dir/name.csv, creating the
-// directory if needed.
+// SaveCSV writes the table's CSV rendering to dir/name.csv atomically
+// (see SaveFile), creating the directory if needed.
 func (t *Table) SaveCSV(dir, name string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("report: %w", err)
-	}
-	path := filepath.Join(dir, name+".csv")
-	if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
-		return fmt.Errorf("report: %w", err)
-	}
-	return nil
+	return SaveFile(filepath.Join(dir, name+".csv"), []byte(t.CSV()))
 }

@@ -130,3 +130,53 @@ func TestSaveSeriesCSV(t *testing.T) {
 		t.Fatalf("contents %q", data)
 	}
 }
+
+func TestSaveFileAtomicReplaceAndNoDebris(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.json")
+	if err := SaveFile(path, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	// Overwriting must fully replace the old content...
+	if err := SaveFile(path, []byte("second, longer content")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "second, longer content" {
+		t.Fatalf("contents %q, %v", data, err)
+	}
+	// ...and leave no temporary files behind (the rename is the commit).
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "artifact.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory contents %v, want just artifact.json", names)
+	}
+	// Artifacts must be world-readable like the old non-atomic writers'.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm&0o044 != 0o044 {
+		t.Fatalf("artifact permissions %v not world-readable", perm)
+	}
+}
+
+func TestSaveJSONCreatesParentsAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a", "b", "out.json")
+	if err := SaveJSON(path, map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "{\n  \"x\": 1\n}\n" {
+		t.Fatalf("contents %q", data)
+	}
+}

@@ -2,8 +2,6 @@ package report
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
 	"strings"
 )
 
@@ -21,15 +19,8 @@ func SeriesCSV(tName, vName string, t []int64, v []float64) string {
 	return b.String()
 }
 
-// SaveSeriesCSV writes a series to path, creating parent directories.
+// SaveSeriesCSV writes a series to path atomically (see SaveFile),
+// creating parent directories.
 func SaveSeriesCSV(path, tName, vName string, t []int64, v []float64) error {
-	if dir := filepath.Dir(path); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return fmt.Errorf("report: %w", err)
-		}
-	}
-	if err := os.WriteFile(path, []byte(SeriesCSV(tName, vName, t, v)), 0o644); err != nil {
-		return fmt.Errorf("report: %w", err)
-	}
-	return nil
+	return SaveFile(path, []byte(SeriesCSV(tName, vName, t, v)))
 }

@@ -290,6 +290,30 @@ func TestRunTrialsDeterministicAndParallel(t *testing.T) {
 	}
 }
 
+func TestRunSeededTrialsMatchesRunTrials(t *testing.T) {
+	// A subset run (a sweep shard, a cache resume) seeds trials from the
+	// full list TrialSeeds derives — trial i under RunSeededTrials must
+	// reproduce trial i under RunTrials exactly.
+	f := func(trial int, seed uint64) *Result {
+		return Run(Config{Kappa: 16, Horizon: 1000, Drain: true, Seed: seed},
+			core.New(16, rng.New(seed^0x9e37)), &arrival.Bernoulli{Rate: 0.4})
+	}
+	seeds := TrialSeeds(6, 42)
+	whole := RunTrials(6, 42, 2, f)
+	subset := RunSeededTrials(seeds[2:5], 2, f)
+	for i, r := range subset {
+		if want := whole[i+2]; r.Delivered != want.Delivered || r.Elapsed != want.Elapsed {
+			t.Fatalf("seeded trial %d diverged from full-run trial %d", i, i+2)
+		}
+	}
+	if RunSeededTrials(nil, 4, f) != nil {
+		t.Fatal("zero seeds should return nil")
+	}
+	if TrialSeeds(0, 1) != nil {
+		t.Fatal("zero trials should derive no seeds")
+	}
+}
+
 func TestRunTrialsEdgeCases(t *testing.T) {
 	if RunTrials(0, 1, 1, nil) != nil {
 		t.Fatal("zero trials should return nil")

@@ -14,12 +14,39 @@ import (
 // only be shared across trials after Reset, never concurrently).
 type TrialFunc func(trial int, seed uint64) *Result
 
+// TrialSeeds derives the n trial seeds RunTrials assigns from baseSeed:
+// one rng stream, read sequentially.  Exposed so a caller running a
+// *subset* of a trial grid (a sweep shard, a cache-resumed sweep) can
+// seed each trial exactly as the full run would — the property that
+// makes sharded and resumed artifacts byte-identical to unsharded ones.
+func TrialSeeds(n int, baseSeed uint64) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	seeds := make([]uint64, n)
+	seedGen := rng.New(baseSeed)
+	for i := range seeds {
+		seeds[i] = seedGen.Uint64()
+	}
+	return seeds
+}
+
 // RunTrials executes n independent trials, fanning them out over up to
 // `parallelism` goroutines (0 = GOMAXPROCS).  Trial seeds are derived
-// deterministically from baseSeed, so results are reproducible regardless
-// of scheduling, and results are returned indexed by trial.
+// deterministically from baseSeed (see TrialSeeds), so results are
+// reproducible regardless of scheduling, and results are returned
+// indexed by trial.
 func RunTrials(n int, baseSeed uint64, parallelism int, f TrialFunc) []*Result {
-	if n <= 0 {
+	return RunSeededTrials(TrialSeeds(n, baseSeed), parallelism, f)
+}
+
+// RunSeededTrials executes one trial per explicit seed, fanning them out
+// over up to `parallelism` goroutines (0 = GOMAXPROCS).  It is the
+// subset-capable core of RunTrials: seeds[i] drives trial i, whatever
+// grid position that trial came from.
+func RunSeededTrials(seeds []uint64, parallelism int, f TrialFunc) []*Result {
+	n := len(seeds)
+	if n == 0 {
 		return nil
 	}
 	if parallelism <= 0 {
@@ -27,11 +54,6 @@ func RunTrials(n int, baseSeed uint64, parallelism int, f TrialFunc) []*Result {
 	}
 	if parallelism > n {
 		parallelism = n
-	}
-	seeds := make([]uint64, n)
-	seedGen := rng.New(baseSeed)
-	for i := range seeds {
-		seeds[i] = seedGen.Uint64()
 	}
 	results := make([]*Result, n)
 	var wg sync.WaitGroup

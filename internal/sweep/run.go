@@ -1,9 +1,11 @@
 package sweep
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cache"
 	"repro/internal/sim"
 )
 
@@ -15,10 +17,19 @@ const protoSeedSalt = 0x70726f746f636f6c // "protocol"
 type Options struct {
 	// Parallelism bounds concurrent trials (0 = GOMAXPROCS).
 	Parallelism int
-	// OnCell, if set, is called as each cell's last trial finishes, with
-	// the number of finished cells and the total.  Calls are serialized;
-	// cells complete in scheduling order, not necessarily grid order.
-	OnCell func(done, total int, cell *CellSummary)
+	// OnCell, if set, is called as each selected cell completes —
+	// executed, or (under Resume) loaded from the cache — with the number
+	// of completed cells and the selected total.  Calls are serialized;
+	// cached cells are reported first in grid order, executed cells in
+	// scheduling order.
+	OnCell func(done, total int, cell *CellSummary, cached bool)
+	// Cache, if non-nil, persists every completed cell as a
+	// content-addressed record (one atomic JSON file per cell identity),
+	// so a later Resume run re-executes only what is missing.
+	Cache *cache.Store
+	// Resume loads cells whose records are already in Cache instead of
+	// executing them.  Requires Cache.
+	Resume bool
 }
 
 // trialOut carries one trial's result plus the side-channel measurements
@@ -28,49 +39,197 @@ type trialOut struct {
 	errEpochs int64
 }
 
+// cellRecord is the cache-record schema for one completed cell.  The
+// identity fields are re-checked on load: a record whose stored
+// identity, scenario key, or schema version disagrees with what the
+// spec derives is ignored (treated as a miss), never merged.
+type cellRecord struct {
+	SchemaVersion string      `json:"schema_version"`
+	ID            string      `json:"id"`
+	Key           string      `json:"key"`
+	Index         int         `json:"index"`
+	Cell          CellSummary `json:"cell"`
+}
+
 // Run expands the spec and executes every (cell, trial) pair, fanning
-// the flattened trial list out over sim.RunTrials.  Trial seeds derive
-// deterministically from spec.Seed in canonical cell order, so the
-// resulting Grid is identical for any parallelism.
+// the flattened trial list out over the engine's trial runner.  Trial
+// seeds derive deterministically from spec.Seed in canonical cell
+// order, so the resulting Grid is identical for any parallelism — and,
+// with Options.Cache/Resume, for any interruption point: completed
+// cells are re-loaded, missing ones re-executed, and the artifact is
+// byte-identical to an uninterrupted run.
 func Run(spec Spec, opts Options) (*Grid, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	cells := spec.Expand()
-	jobs := len(cells) * spec.Trials
-
+	out, err := runCells(&spec, cells, Shard{}.Indices(len(cells)), opts)
+	if err != nil {
+		return nil, err
+	}
 	grid := &Grid{Spec: spec, Cells: make([]CellSummary, len(cells))}
-	// Trials self-collect per cell so a cell can be summarized (and
-	// progress reported) the moment its last trial lands, while other
-	// cells are still running.  Each slot is written by exactly one
-	// goroutine; the atomic countdown orders those writes before the
-	// summarizing goroutine's reads.
-	outs := make([]trialOut, jobs)
-	remaining := make([]int32, len(cells))
-	for i := range remaining {
-		remaining[i] = int32(spec.Trials)
+	for i := range out {
+		grid.Cells[out[i].Index] = out[i].Cell
 	}
-	var progress struct {
-		sync.Mutex
-		done int
+	return grid, nil
+}
+
+// RunShard executes one shard of the spec's grid — the cells
+// sh.Indices selects from the canonical expansion — seeding each trial
+// exactly as an unsharded run would, and returns the shard artifact
+// Merge reassembles.  Options.Cache/Resume apply per cell, so shards
+// and resumed runs share one cache.
+func RunShard(spec Spec, sh Shard, opts Options) (*ShardResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
 	}
-	sim.RunTrials(jobs, spec.Seed, opts.Parallelism, func(job int, seed uint64) *sim.Result {
-		cellIdx := job / spec.Trials
-		sc := cells[cellIdx]
-		var errCount int64
-		proto := spec.buildProtocol(sc, seed^protoSeedSalt, &errCount)
-		res := sim.Run(spec.config(sc, seed), proto, spec.buildArrival(sc))
-		outs[job] = trialOut{res: res, errEpochs: errCount}
-		if atomic.AddInt32(&remaining[cellIdx], -1) == 0 {
-			grid.Cells[cellIdx] = summarize(sc, outs[cellIdx*spec.Trials:(cellIdx+1)*spec.Trials])
-			if opts.OnCell != nil {
-				progress.Lock()
-				progress.done++
-				opts.OnCell(progress.done, len(cells), &grid.Cells[cellIdx])
-				progress.Unlock()
+	if err := sh.Validate(); err != nil {
+		return nil, err
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return nil, err
+	}
+	cells := spec.Expand()
+	out, err := runCells(&spec, cells, sh.Indices(len(cells)), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardResult{
+		SchemaVersion: SchemaVersion,
+		SpecHash:      hash,
+		Spec:          spec,
+		Shard:         sh,
+		TotalCells:    len(cells),
+		Cells:         out,
+	}, nil
+}
+
+// runCells executes (or, under Resume, loads) the selected cells of an
+// expanded grid.  spec must be validated; selected holds ascending
+// positions into cells.  Every trial's seed comes from the full grid's
+// flattened seed list, so any subset executes exactly as it would
+// inside an unsharded, uninterrupted run.
+func runCells(spec *Spec, cells []Scenario, selected []int, opts Options) ([]IndexedCell, error) {
+	if opts.Resume && opts.Cache == nil {
+		return nil, fmt.Errorf("sweep: Resume requires a Cache")
+	}
+	allSeeds := spec.jobSeeds(len(cells))
+	out := make([]IndexedCell, len(selected))
+	var pending []int // positions in selected that need execution
+	for si, ci := range selected {
+		sc := cells[ci]
+		out[si] = IndexedCell{Index: ci, ID: cellID(sc, spec, allSeeds[ci*spec.Trials:(ci+1)*spec.Trials])}
+		hit := false
+		if opts.Resume {
+			var rec cellRecord
+			ok, err := opts.Cache.Get(out[si].ID, &rec)
+			if err != nil {
+				return nil, err
+			}
+			// The identity hash names the record file, but trust nothing:
+			// a record is reused only if its stored identity agrees with
+			// the one this spec derives for this cell.
+			if ok && rec.SchemaVersion == SchemaVersion && rec.ID == out[si].ID && rec.Key == sc.Key() {
+				out[si].Cell = rec.Cell
+				hit = true
 			}
 		}
-		return res
-	})
-	return grid, nil
+		if !hit {
+			pending = append(pending, si)
+		}
+	}
+
+	var progress struct {
+		sync.Mutex
+		done    int
+		saveErr error
+	}
+	finish := func(si int, cached bool) {
+		// Persist outside the progress mutex: records are distinct files
+		// keyed by unique identities, so concurrent Puts need no mutual
+		// exclusion, and a slow disk must not serialize cell completion.
+		var putErr error
+		if opts.Cache != nil && !cached {
+			rec := cellRecord{
+				SchemaVersion: SchemaVersion,
+				ID:            out[si].ID,
+				Key:           cells[out[si].Index].Key(),
+				Index:         out[si].Index,
+				Cell:          out[si].Cell,
+			}
+			putErr = opts.Cache.Put(rec.ID, &rec)
+		}
+		progress.Lock()
+		defer progress.Unlock()
+		if putErr != nil && progress.saveErr == nil {
+			progress.saveErr = putErr
+		}
+		progress.done++
+		if opts.OnCell != nil {
+			opts.OnCell(progress.done, len(selected), &out[si].Cell, cached)
+		}
+	}
+	// Report cache hits first, in grid order; executed cells follow as
+	// they land.
+	for si := range out {
+		if isPending(pending, si) {
+			continue
+		}
+		finish(si, true)
+	}
+
+	if len(pending) > 0 {
+		jobs := len(pending) * spec.Trials
+		jobSeeds := make([]uint64, jobs)
+		for p, si := range pending {
+			ci := out[si].Index
+			copy(jobSeeds[p*spec.Trials:], allSeeds[ci*spec.Trials:(ci+1)*spec.Trials])
+		}
+		// Trials self-collect per cell so a cell can be summarized (and
+		// persisted, and progress reported) the moment its last trial
+		// lands, while other cells are still running.  Each slot is
+		// written by exactly one goroutine; the atomic countdown orders
+		// those writes before the summarizing goroutine's reads.
+		outs := make([]trialOut, jobs)
+		remaining := make([]int32, len(pending))
+		for i := range remaining {
+			remaining[i] = int32(spec.Trials)
+		}
+		sim.RunSeededTrials(jobSeeds, opts.Parallelism, func(job int, seed uint64) *sim.Result {
+			p := job / spec.Trials
+			si := pending[p]
+			sc := cells[out[si].Index]
+			var errCount int64
+			proto := spec.buildProtocol(sc, seed^protoSeedSalt, &errCount)
+			res := sim.Run(spec.config(sc, seed), proto, spec.buildArrival(sc))
+			outs[job] = trialOut{res: res, errEpochs: errCount}
+			if atomic.AddInt32(&remaining[p], -1) == 0 {
+				out[si].Cell = summarize(sc, outs[p*spec.Trials:(p+1)*spec.Trials])
+				finish(si, false)
+			}
+			return res
+		})
+	}
+	if progress.saveErr != nil {
+		return nil, progress.saveErr
+	}
+	return out, nil
+}
+
+// isPending reports whether si is in the ascending pending list.
+func isPending(pending []int, si int) bool {
+	lo, hi := 0, len(pending)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case pending[mid] < si:
+			lo = mid + 1
+		case pending[mid] > si:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,355 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestParseShard(t *testing.T) {
+	sh, err := ParseShard("2/4")
+	if err != nil || sh.Index != 2 || sh.Count != 4 {
+		t.Fatalf("ParseShard(2/4) = %v, %v", sh, err)
+	}
+	if sh.String() != "2/4" {
+		t.Fatalf("String() = %q", sh.String())
+	}
+	for _, bad := range []string{"", "garbage", "0/4", "5/4", "-1/4", "1/0", "1/-2", "1", "1/", "/4", "a/b", "1/4/2"} {
+		if _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard accepted %q", bad)
+		}
+	}
+}
+
+func TestShardIndicesPartition(t *testing.T) {
+	// Shards 1..N partition the grid: disjoint, union exact, balanced to
+	// within one cell.
+	for _, total := range []int{0, 1, 3, 4, 7, 132} {
+		for _, n := range []int{1, 2, 4, 5} {
+			seen := make([]bool, total)
+			min, max := total, 0
+			for k := 1; k <= n; k++ {
+				idx := Shard{Index: k, Count: n}.Indices(total)
+				if len(idx) < min {
+					min = len(idx)
+				}
+				if len(idx) > max {
+					max = len(idx)
+				}
+				for _, i := range idx {
+					if i < 0 || i >= total || seen[i] {
+						t.Fatalf("total=%d n=%d: index %d out of range or duplicated", total, n, i)
+					}
+					seen[i] = true
+				}
+			}
+			for i, ok := range seen {
+				if !ok {
+					t.Fatalf("total=%d n=%d: cell %d unassigned", total, n, i)
+				}
+			}
+			if total >= n && max-min > 1 {
+				t.Fatalf("total=%d n=%d: unbalanced shards (sizes %d..%d)", total, n, min, max)
+			}
+		}
+	}
+	all := Shard{}.Indices(5)
+	if len(all) != 5 || all[0] != 0 || all[4] != 4 {
+		t.Fatalf("zero shard indices = %v", all)
+	}
+}
+
+func TestSpecHash(t *testing.T) {
+	s := smallSpec()
+	h1, err := s.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hash is computed on the normalized spec, so pre- and
+	// post-Validate specs agree.
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := s.Hash()
+	if err != nil || h1 != h2 {
+		t.Fatalf("normalization changed the hash: %s vs %s (%v)", h1, h2, err)
+	}
+	s.Seed++
+	h3, err := s.Hash()
+	if err != nil || h3 == h1 {
+		t.Fatalf("seed change did not change the hash (%v)", err)
+	}
+}
+
+// mergedArtifacts runs the spec as n shards at the given parallelism and
+// merges them (in reversed order, exercising order independence).
+func mergedArtifacts(t *testing.T, spec Spec, n, parallelism int) (jsonOut, csvOut []byte) {
+	t.Helper()
+	var shards []*ShardResult
+	for k := n; k >= 1; k-- {
+		res, err := RunShard(spec, Shard{Index: k, Count: n}, Options{Parallelism: parallelism})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Round-trip each shard through its JSON artifact, as the CLI
+		// merge path does.
+		data, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseShardResult(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, back)
+	}
+	grid, err := Merge(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := grid.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, []byte(grid.CSV())
+}
+
+func TestShardedMergeByteIdentical(t *testing.T) {
+	// The tentpole contract: a 4-shard run merges to artifacts
+	// byte-identical to an unsharded run of the same spec, at
+	// parallelism 1 and N alike.  The spec mixes models and adversaries
+	// so the skip rules are live during partitioning.
+	spec := adversarialSpec()
+	spec.Models = []string{"coded", "classical:ternary"}
+	grid, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := grid.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := []byte(grid.CSV())
+	for _, par := range []int{1, 8} {
+		gotJSON, gotCSV := mergedArtifacts(t, spec, 4, par)
+		if !bytes.Equal(wantJSON, gotJSON) {
+			t.Fatalf("parallelism %d: merged JSON differs from unsharded run", par)
+		}
+		if !bytes.Equal(wantCSV, gotCSV) {
+			t.Fatalf("parallelism %d: merged CSV differs from unsharded run", par)
+		}
+	}
+}
+
+func TestRunShardMatchesUnshardedCells(t *testing.T) {
+	spec := smallSpec()
+	grid, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunShard(spec, Shard{Index: 2, Count: 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SchemaVersion != SchemaVersion || res.TotalCells != len(grid.Cells) {
+		t.Fatalf("shard artifact header wrong: %+v", res)
+	}
+	if len(res.Cells) == 0 {
+		t.Fatal("shard ran no cells")
+	}
+	for _, c := range res.Cells {
+		if c.Index%3 != 1 {
+			t.Fatalf("shard 2/3 owns cell %d", c.Index)
+		}
+		if want := grid.Cells[c.Index]; c.Cell != want {
+			t.Fatalf("cell %d differs between sharded and unsharded run:\n%+v\n%+v", c.Index, c.Cell, want)
+		}
+	}
+}
+
+func TestMergeRejects(t *testing.T) {
+	spec := smallSpec()
+	shardOf := func(sp Spec, k, n int) *ShardResult {
+		res, err := RunShard(sp, Shard{Index: k, Count: n}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	s1, s2 := shardOf(spec, 1, 2), shardOf(spec, 2, 2)
+
+	if _, err := Merge(nil); err == nil {
+		t.Error("merge of zero shards accepted")
+	}
+	if _, err := Merge([]*ShardResult{s1}); err == nil {
+		t.Error("merge with a missing shard accepted")
+	}
+	if _, err := Merge([]*ShardResult{s1, s2, s1}); err == nil {
+		t.Error("merge with a duplicated shard accepted")
+	}
+
+	// Mismatched spec hashes: same shape, different seed.
+	other := spec
+	other.Seed = 99
+	if _, err := Merge([]*ShardResult{s1, shardOf(other, 2, 2)}); err == nil {
+		t.Error("merge across different specs accepted")
+	}
+
+	// A stale schema version must refuse to merge.
+	stale := *s1
+	stale.SchemaVersion = "crn-sweep/0"
+	if _, err := Merge([]*ShardResult{&stale, s2}); err == nil {
+		t.Error("merge with a stale schema version accepted")
+	}
+
+	// A tampered spec (hash no longer matches) must refuse to merge.
+	tampered := *s1
+	tampered.Spec.Horizon++
+	if _, err := Merge([]*ShardResult{&tampered, s2}); err == nil {
+		t.Error("merge with a tampered spec accepted")
+	}
+
+	// A tampered cell identity must refuse to merge.
+	badCell := *s1
+	badCell.Cells = append([]IndexedCell(nil), s1.Cells...)
+	badCell.Cells[0].ID = badCell.Cells[1].ID
+	if _, err := Merge([]*ShardResult{&badCell, s2}); err == nil {
+		t.Error("merge with a tampered cell identity accepted")
+	}
+
+	// And the happy path still merges after all that.
+	if _, err := Merge([]*ShardResult{s2, s1}); err != nil {
+		t.Fatalf("valid merge failed: %v", err)
+	}
+}
+
+// runCounting runs the spec with a cache, returning the grid's JSON and
+// how many cells were executed vs loaded.
+func runCounting(t *testing.T, spec Spec, store *cache.Store, resume bool) (data []byte, executed, cached int) {
+	t.Helper()
+	grid, err := Run(spec, Options{
+		Cache:  store,
+		Resume: resume,
+		OnCell: func(done, total int, cell *CellSummary, fromCache bool) {
+			if fromCache {
+				cached++
+			} else {
+				executed++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err = grid.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, executed, cached
+}
+
+func TestResumeExecutesOnlyMissingCells(t *testing.T) {
+	// The resume contract: after an interrupted run, a -resume re-run
+	// executes exactly the cells whose records are missing and its
+	// artifact is byte-identical to an uninterrupted run.
+	spec := smallSpec()
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, executed, cached := runCounting(t, spec, store, false)
+	if executed != 16 || cached != 0 {
+		t.Fatalf("cold run: executed=%d cached=%d, want 16/0", executed, cached)
+	}
+
+	// Simulate a kill mid-sweep: drop 3 of the 16 completed-cell records.
+	records, err := filepath.Glob(filepath.Join(store.Dir(), "*.json"))
+	if err != nil || len(records) != 16 {
+		t.Fatalf("cache holds %d records (%v), want 16", len(records), err)
+	}
+	for _, path := range records[:3] {
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, executed, cached := runCounting(t, spec, store, true)
+	if executed != 3 || cached != 13 {
+		t.Fatalf("resumed run: executed=%d cached=%d, want 3/13", executed, cached)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("resumed artifact differs from the uninterrupted run")
+	}
+
+	// A fully-warm resume executes nothing and still reproduces the bytes.
+	got, executed, cached = runCounting(t, spec, store, true)
+	if executed != 0 || cached != 16 {
+		t.Fatalf("warm run: executed=%d cached=%d, want 0/16", executed, cached)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("fully-cached artifact differs from the uninterrupted run")
+	}
+}
+
+func TestResumeIgnoresForeignAndCorruptRecords(t *testing.T) {
+	spec := smallSpec()
+	dir := t.TempDir()
+	store, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, _ := runCounting(t, spec, store, false)
+
+	// Corrupt one record (truncate) and tamper another's key; both must
+	// be treated as misses and re-executed, not merged.
+	records, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err := os.WriteFile(records[0], []byte(`{"schema_version":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var rec cellRecord
+	id := filepath.Base(records[1])
+	id = id[:len(id)-len(".json")]
+	if ok, err := store.Get(id, &rec); err != nil || !ok {
+		t.Fatalf("reading record %s: ok=%v err=%v", id, ok, err)
+	}
+	rec.Key = "not/the/right/cell"
+	if err := store.Put(id, &rec); err != nil {
+		t.Fatal(err)
+	}
+
+	got, executed, cached := runCounting(t, spec, store, true)
+	if executed != 2 || cached != 14 {
+		t.Fatalf("executed=%d cached=%d, want 2/14", executed, cached)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("artifact differs after invalid records were re-executed")
+	}
+}
+
+func TestResumeRequiresCache(t *testing.T) {
+	if _, err := Run(smallSpec(), Options{Resume: true}); err == nil {
+		t.Fatal("Resume without a Cache accepted")
+	}
+}
+
+func TestShardsShareOneCache(t *testing.T) {
+	// Shards persist into the same store an unsharded resume can reuse:
+	// run shard 1/2 with a cache, then resume the full grid — only
+	// shard 2/2's cells execute.
+	spec := smallSpec()
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunShard(spec, Shard{Index: 1, Count: 2}, Options{Cache: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, executed, cached := runCounting(t, spec, store, true)
+	if cached != len(res.Cells) || executed != 16-len(res.Cells) {
+		t.Fatalf("executed=%d cached=%d after a %d-cell shard", executed, cached, len(res.Cells))
+	}
+}

@@ -15,6 +15,7 @@
 package sweep
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -323,7 +324,7 @@ func (s *Spec) Expand() []Scenario {
 // ParseSpec decodes a JSON spec, rejecting unknown fields so typos in
 // hand-written spec files fail loudly.
 func ParseSpec(data []byte) (*Spec, error) {
-	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var s Spec
 	if err := dec.Decode(&s); err != nil {

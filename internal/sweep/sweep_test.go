@@ -317,7 +317,10 @@ func TestOnCellProgress(t *testing.T) {
 		Protocols: []string{"genie"}, Arrivals: []string{"batch"},
 		Kappas: []int{2, 4}, Rates: []float64{0.5},
 		Trials: 1, Horizon: 100, Seed: 1,
-	}, Options{OnCell: func(done, total int, cell *CellSummary) {
+	}, Options{OnCell: func(done, total int, cell *CellSummary, cached bool) {
+		if cached {
+			t.Fatal("no cache configured, but a cell reported cached")
+		}
 		if total != 2 || cell == nil {
 			t.Fatalf("bad progress call: %d/%d %v", done, total, cell)
 		}
