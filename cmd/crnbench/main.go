@@ -14,6 +14,7 @@
 //	crnbench -out BENCH_engine.json           # regenerate the committed artifact
 //	crnbench -scale full -trials 3            # the n=10^6 large-batch grid
 //	crnbench -out /tmp/b.json -gate -quiet    # CI smoke: write, re-parse, validate, alloc-gate
+//	crnbench -out /tmp/b.json -gate -baseline BENCH_engine.json  # + slots/sec floors vs the committed artifact
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base random seed")
 	outPath := flag.String("out", "", "write the artifact JSON to this path ('-' = stdout)")
 	gate := flag.Bool("gate", false, "after writing, re-parse the artifact and fail on a missing grid cell or an allocs/slot regression in the steady classical cell")
+	baseline := flag.String("baseline", "", "with -gate: committed artifact whose slots/sec set per-cell floors (host-speed normalized, 2x slack)")
 	quiet := flag.Bool("quiet", false, "suppress the table and progress output")
 	flag.Parse()
 
@@ -91,10 +93,29 @@ func main() {
 		if err := perf.Check(&back, scale); err != nil {
 			fatal(err)
 		}
+		if *baseline != "" {
+			committed, err := os.ReadFile(*baseline)
+			if err != nil {
+				fatal(err)
+			}
+			var ref perf.Artifact
+			if err := json.Unmarshal(committed, &ref); err != nil {
+				fatal(fmt.Errorf("baseline %s does not parse: %w", *baseline, err))
+			}
+			if err := perf.CheckFloors(&back, &ref); err != nil {
+				fatal(err)
+			}
+		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "crnbench: gate ok (%d cells, %s ≤ %.2f allocs/slot)\n",
 				len(back.Cells), perf.GateKey(scale), perf.GateAllocsPerSlot)
+			if *baseline != "" {
+				fmt.Fprintf(os.Stderr, "crnbench: slots/sec floors ok vs %s (headroom %.0f%%)\n",
+					*baseline, 100*(1-perf.FloorHeadroom))
+			}
 		}
+	} else if *baseline != "" {
+		fatal(fmt.Errorf("-baseline needs -gate"))
 	}
 }
 

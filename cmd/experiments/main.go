@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/sim"
 )
 
 // jsonRun is the machine-readable artifact: one entry per experiment, in
@@ -84,35 +85,25 @@ func main() {
 	fmt.Printf("scale=%s seed=%d experiments=%d parallel=%d\n\n", scale, *seed, len(runners), workers)
 	grandStart := time.Now()
 
-	// Experiments run concurrently; each output streams to stdout in
-	// index order as soon as it and its predecessors are done, so a
-	// serial run keeps the old print-as-you-go behavior.  Experiments are
-	// internally deterministic given scale and seed, so concurrency never
-	// changes the simulated results (only E12's wall-clock benchmark
-	// column varies run to run).
+	// Experiments run concurrently on the engine's shared worker pool
+	// (sim.ForEach, the same fan-out the staged slot engine and the trial
+	// runner use); each output streams to stdout in index order as soon
+	// as it and its predecessors are done, so a serial run keeps the old
+	// print-as-you-go behavior.  Experiments are internally deterministic
+	// given scale and seed, so concurrency never changes the simulated
+	// results (only E12's wall-clock benchmark column varies run to run).
 	outputs := make([]*experiments.Output, len(runners))
 	elapsed := make([]time.Duration, len(runners))
 	done := make([]chan struct{}, len(runners))
 	for i := range done {
 		done[i] = make(chan struct{})
 	}
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		go func() {
-			for i := range next {
-				start := time.Now()
-				outputs[i] = runners[i].Run(scale, *seed)
-				elapsed[i] = time.Since(start)
-				close(done[i])
-			}
-		}()
-	}
-	go func() {
-		for i := range runners {
-			next <- i
-		}
-		close(next)
-	}()
+	go sim.ForEach(len(runners), workers, func(i int) {
+		start := time.Now()
+		outputs[i] = runners[i].Run(scale, *seed)
+		elapsed[i] = time.Since(start)
+		close(done[i])
+	})
 
 	for i := range runners {
 		<-done[i]

@@ -137,6 +137,9 @@ type DecodableBackoff struct {
 	loc      map[channel.PacketID]location
 
 	active int // packets currently in buckets (excludes joiners and inactive)
+	// shardPending counts pending packets per engine shard (keyed by
+	// id mod NumShards) so the staged engine can audit shard ownership.
+	shardPending [protocol.NumShards]int
 
 	inEpoch      bool
 	epochStart   int64
@@ -152,6 +155,7 @@ type DecodableBackoff struct {
 }
 
 var _ protocol.Protocol = (*DecodableBackoff)(nil)
+var _ protocol.Partitioned = (*DecodableBackoff)(nil)
 
 // New returns a Decodable Backoff instance for decoding threshold kappa
 // (the paper requires κ ≥ 6) using the given random stream.
@@ -226,6 +230,7 @@ func (d *DecodableBackoff) Inject(now int64, ids []channel.PacketID) {
 			d.addActive(id)
 			d.stats.Activations++
 		}
+		d.shardPending[int(id)%protocol.NumShards]++
 	}
 	if p := d.Pending(); p > d.pendingPeak {
 		d.pendingPeak = p
@@ -367,14 +372,47 @@ func (d *DecodableBackoff) removeFromBucket(b *bucket, idx int) {
 // Transmitters implements protocol.Protocol: the epoch's joiners
 // broadcast in every slot of the epoch.
 func (d *DecodableBackoff) Transmitters(now int64, buf []channel.PacketID) []channel.PacketID {
-	if !d.inEpoch {
-		d.startEpoch(now)
-	}
+	d.PrepareSlot(now)
 	for _, j := range d.joiners {
 		buf = append(buf, j.id)
 	}
 	return buf
 }
+
+// Shards implements protocol.Partitioned.
+func (d *DecodableBackoff) Shards() int { return protocol.NumShards }
+
+// PrepareSlot implements protocol.Partitioned: the slot's only
+// centralized decision is starting a new epoch (which consumes the RNG
+// for joiner selection), so everything RNG-dependent happens here and
+// the shard stages are pure reads.
+func (d *DecodableBackoff) PrepareSlot(now int64) {
+	if !d.inEpoch {
+		d.startEpoch(now)
+	}
+}
+
+// ShardTransmitters implements protocol.Partitioned: shard `shard`
+// emits its contiguous chunk of the epoch's joiner list, so the
+// shard-order concatenation reproduces Transmitters exactly.
+func (d *DecodableBackoff) ShardTransmitters(now int64, shard int, buf []channel.PacketID) []channel.PacketID {
+	lo, hi := protocol.ShardRange(len(d.joiners), shard, protocol.NumShards)
+	for _, j := range d.joiners[lo:hi] {
+		buf = append(buf, j.id)
+	}
+	return buf
+}
+
+// ShardObserve implements protocol.Partitioned.  Epoch bookkeeping is
+// inherently centralized (one shared epoch state machine), so the
+// per-shard stage has nothing to do and ReduceSlot does all the work.
+func (d *DecodableBackoff) ShardObserve(shard int, fb channel.Feedback) {}
+
+// ReduceSlot implements protocol.Partitioned.
+func (d *DecodableBackoff) ReduceSlot(fb channel.Feedback) { d.Observe(fb) }
+
+// ShardPending implements protocol.Partitioned.
+func (d *DecodableBackoff) ShardPending(shard int) int { return d.shardPending[shard] }
 
 // Observe implements protocol.Protocol: epoch bookkeeping driven purely
 // by the two signals devices can hear (silence, decoding events) plus the
@@ -420,6 +458,7 @@ func (d *DecodableBackoff) endSuccessful(fb channel.Feedback) {
 			d.removeInactive(l.idx)
 		}
 		delete(d.loc, id)
+		d.shardPending[int(id)%protocol.NumShards]--
 		d.stats.Delivered++
 	}
 	// Joiners that were not delivered (none, in well-formed runs) return

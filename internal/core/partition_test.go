@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// TestPartitionedContract checks the Partitioned invariants directly on
+// the DBA: the shard-order concatenation of ShardTransmitters equals
+// Transmitters for the same epoch, and the per-shard pending counts sum
+// to Pending through injections and deliveries.
+func TestPartitionedContract(t *testing.T) {
+	const kappa = 16
+	d := New(kappa, rng.New(7))
+	ch := channel.New(kappa, 4*kappa)
+
+	ids := make([]channel.PacketID, 200)
+	for i := range ids {
+		ids[i] = channel.PacketID(i)
+	}
+	d.Inject(0, ids)
+
+	for now := int64(0); now < 2000 && d.Pending() > 0; now++ {
+		// The monolithic call both starts the epoch (when needed) and
+		// collects; the shard sweep afterwards is a pure read of the same
+		// epoch, so the concatenation must reproduce it exactly.
+		tx := d.Transmitters(now, nil)
+		var cat []channel.PacketID
+		for sh := 0; sh < d.Shards(); sh++ {
+			cat = d.ShardTransmitters(now, sh, cat)
+		}
+		if len(cat) != len(tx) {
+			t.Fatalf("slot %d: shard concat %d transmitters, monolithic %d", now, len(cat), len(tx))
+		}
+		for i := range tx {
+			if cat[i] != tx[i] {
+				t.Fatalf("slot %d: shard concat diverges at %d: %d vs %d", now, i, cat[i], tx[i])
+			}
+		}
+
+		sum := 0
+		for sh := 0; sh < d.Shards(); sh++ {
+			sum += d.ShardPending(sh)
+		}
+		if sum != d.Pending() {
+			t.Fatalf("slot %d: shard pendings sum %d, Pending %d", now, sum, d.Pending())
+		}
+
+		class, ev := ch.Step(now, tx)
+		d.ReduceSlot(channel.Feedback{Slot: now, Silent: class == channel.Silent, Event: ev})
+	}
+	if d.Pending() != 0 {
+		t.Fatalf("batch not drained: %d pending", d.Pending())
+	}
+	for sh := 0; sh < d.Shards(); sh++ {
+		if d.ShardPending(sh) != 0 {
+			t.Fatalf("shard %d pending %d after drain", sh, d.ShardPending(sh))
+		}
+	}
+	if d.Shards() != protocol.NumShards {
+		t.Fatalf("Shards() = %d, want %d", d.Shards(), protocol.NumShards)
+	}
+}

@@ -17,6 +17,7 @@ package perf
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/adversary"
@@ -49,12 +50,21 @@ type Case struct {
 	Kappa     int     `json:"kappa"`
 	N         int     `json:"n"`    // batch size, or horizon for steady workloads
 	Rate      float64 `json:"rate"` // steady arrival rate (0 for batch)
+	// Workers selects the staged intra-trial engine (sim.Config.Workers);
+	// 0 times the serial reference.  Simulation outcomes are identical,
+	// only timing differs — the axis exists to record the staged engine's
+	// scaling trajectory.
+	Workers int `json:"workers,omitempty"`
 }
 
 // Key renders the cell coordinates; it is the artifact's join key.
 func (c Case) Key() string {
-	return fmt.Sprintf("%s/%s/adv=%s/%s/k=%d/n=%d",
+	key := fmt.Sprintf("%s/%s/adv=%s/%s/k=%d/n=%d",
 		c.Protocol, c.Model, c.Adversary, c.Workload, c.Kappa, c.N)
+	if c.Workers > 0 {
+		key += fmt.Sprintf("/w=%d", c.Workers)
+	}
+	return key
 }
 
 // combo is a protocol/model pairing with its per-protocol sizing: the
@@ -105,6 +115,16 @@ func Cases(scale Scale) []Case {
 		cases = append(cases, Case{Protocol: cb.protocol, Model: cb.model,
 			Adversary: "none", Workload: fmt.Sprintf("steady:%.2f", cb.steadyRate),
 			Kappa: cb.kappa, N: steadyN, Rate: cb.steadyRate})
+	}
+	// Workers axis: the staged engine on the largest dba/coded batch the
+	// scale runs — the Theorem 16 cell intra-trial parallelism exists
+	// for.  The serial (workers-unset) twin is already in the batch grid
+	// above, so these cells record the staged engine's scaling
+	// trajectory next to it.
+	workersN := batchNs[len(batchNs)-1]
+	for _, w := range []int{1, 4} {
+		cases = append(cases, Case{Protocol: "dba", Model: "coded", Adversary: "none",
+			Workload: "batch", Kappa: 64, N: workersN, Workers: w})
 	}
 	return cases
 }
@@ -228,7 +248,7 @@ func measure(c Case, seed uint64, trials int) Measurement {
 // build constructs one trial's engine inputs.  Components are stateful:
 // every trial gets fresh instances.
 func build(c Case, seed uint64) (sim.Config, protocol.Protocol, arrival.Process) {
-	cfg := sim.Config{Kappa: c.Kappa, Seed: seed}
+	cfg := sim.Config{Kappa: c.Kappa, Seed: seed, Workers: c.Workers}
 	if c.Model != "coded" {
 		med, err := medium.New(c.Model, c.Kappa, 0)
 		if err != nil {
@@ -329,6 +349,80 @@ func Check(a *Artifact, scale Scale) error {
 	if gate.AllocsPerSlot > GateAllocsPerSlot {
 		return fmt.Errorf("perf: allocation gate failed: %q at %.4f allocs/slot (max %.4f) — the steady-state per-slot path regressed",
 			gate.Key, gate.AllocsPerSlot, GateAllocsPerSlot)
+	}
+	return nil
+}
+
+// FloorHeadroom is the slack CheckFloors grants below a committed
+// cell's host-normalized slots/sec: a measurement may run half as fast
+// as the ratcheted baseline before it counts as a regression.  The
+// slack is deliberately wide — quick-scale cells finish in
+// milliseconds, and single cells swing ±30% run to run from scheduling
+// and GC timing alone (host speed differences are removed separately;
+// see CheckFloors).  The ratchet exists to catch engine collapses — an
+// accidentally quadratic path, a lost fast path — not few-percent
+// drift, which the committed artifact's diff history tracks instead.
+const FloorHeadroom = 0.5
+
+// FloorMinSeconds exempts tiny cells from the ratchet: a committed
+// cell's implied wall clock (Slots / SlotsPerSec) must be at least
+// this long before its throughput is floor-gated.  Below it a whole
+// cell finishes in milliseconds, where one scheduler preemption or GC
+// pause halves the measured slots/sec — such cells are still recorded
+// (and structurally checked) for trajectory, but wall-clock floors on
+// them would only gate noise.  Simulated-slot count is deliberately
+// not the criterion: a 150k-slot steady cell on the allocation-free
+// classical path still finishes in ~8 ms.  At full scale every cell
+// clears the threshold.
+const FloorMinSeconds = 0.05
+
+// CheckFloors gates a fresh artifact against a committed one: every
+// cell present in both must reach FloorHeadroom × the committed
+// slots/sec after host-speed normalization.  Normalization divides all
+// floors by the median of the per-cell measured/committed throughput
+// ratios — a slower (or faster) machine shifts every cell's ratio
+// together, so the median tracks host speed while a genuine regression
+// moves its cells against the median and still trips the gate.  Cells
+// only one artifact has (a grid that grew or shrank across commits) and
+// cells under FloorMinSeconds in the committed artifact are skipped: the
+// structural match is Check's job, not the ratchet's.
+func CheckFloors(measured, committed *Artifact) error {
+	if measured == nil || committed == nil {
+		return fmt.Errorf("perf: nil artifact")
+	}
+	base := make(map[string]*Measurement, len(committed.Cells))
+	for i := range committed.Cells {
+		base[committed.Cells[i].Key] = &committed.Cells[i]
+	}
+	type pair struct {
+		m, b  *Measurement
+		ratio float64
+	}
+	var shared []pair
+	for i := range measured.Cells {
+		m := &measured.Cells[i]
+		b := base[m.Key]
+		if b == nil || b.SlotsPerSec <= 0 || m.SlotsPerSec <= 0 ||
+			float64(b.Slots)/b.SlotsPerSec < FloorMinSeconds {
+			continue
+		}
+		shared = append(shared, pair{m: m, b: b, ratio: m.SlotsPerSec / b.SlotsPerSec})
+	}
+	if len(shared) == 0 {
+		return fmt.Errorf("perf: no cells shared with the committed baseline — wrong scale or stale artifact?")
+	}
+	ratios := make([]float64, len(shared))
+	for i, p := range shared {
+		ratios[i] = p.ratio
+	}
+	sort.Float64s(ratios)
+	hostSpeed := ratios[len(ratios)/2]
+	for _, p := range shared {
+		floor := p.b.SlotsPerSec * hostSpeed * FloorHeadroom
+		if p.m.SlotsPerSec < floor {
+			return fmt.Errorf("perf: slots/sec floor failed: %q at %.0f, floor %.0f (committed %.0f × host speed %.2f × headroom %.2f) — this cell regressed against the rest of the grid",
+				p.m.Key, p.m.SlotsPerSec, floor, p.b.SlotsPerSec, hostSpeed, FloorHeadroom)
+		}
 	}
 	return nil
 }

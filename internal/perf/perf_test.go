@@ -84,6 +84,60 @@ func TestRunQuickArtifact(t *testing.T) {
 	}
 }
 
+// TestCheckFloors exercises the throughput ratchet on synthetic
+// artifacts: uniform host-speed shifts pass at any magnitude, a single
+// cell sagging against the rest trips the gate, and cells missing from
+// either side are ignored rather than failed.
+func TestCheckFloors(t *testing.T) {
+	mk := func(speeds map[string]float64) *Artifact {
+		a := &Artifact{Name: "engine", Scale: "quick"}
+		for k, s := range speeds {
+			// Slots sized so every synthetic cell clears FloorMinSeconds.
+			a.Cells = append(a.Cells, Measurement{Key: k, SlotsPerSec: s,
+				Slots: int64(s * FloorMinSeconds * 10)})
+		}
+		return a
+	}
+	committed := mk(map[string]float64{"a": 1000, "b": 2000, "c": 500})
+
+	// Identical run passes.
+	if err := CheckFloors(mk(map[string]float64{"a": 1000, "b": 2000, "c": 500}), committed); err != nil {
+		t.Fatal(err)
+	}
+	// A uniformly 10× slower host passes: the median ratio absorbs it.
+	if err := CheckFloors(mk(map[string]float64{"a": 100, "b": 200, "c": 50}), committed); err != nil {
+		t.Fatal(err)
+	}
+	// One cell collapsing while the others hold trips the gate.
+	err := CheckFloors(mk(map[string]float64{"a": 1000, "b": 2000, "c": 100}), committed)
+	if err == nil || !strings.Contains(err.Error(), "floor") {
+		t.Fatalf("regressed cell accepted: %v", err)
+	}
+	// Cells absent from the committed baseline (a grid that grew) are
+	// skipped, not failed.
+	if err := CheckFloors(mk(map[string]float64{"a": 1000, "b": 2000, "c": 500, "new": 1}), committed); err != nil {
+		t.Fatal(err)
+	}
+	// A committed cell whose implied wall clock sits under
+	// FloorMinSeconds is recorded but never ratcheted: it is noise.
+	tiny := mk(map[string]float64{"a": 1000, "b": 2000, "c": 500})
+	for i := range tiny.Cells {
+		if tiny.Cells[i].Key == "c" {
+			tiny.Cells[i].Slots = int64(tiny.Cells[i].SlotsPerSec * FloorMinSeconds / 2)
+		}
+	}
+	if err := CheckFloors(mk(map[string]float64{"a": 1000, "b": 2000, "c": 1}), tiny); err != nil {
+		t.Fatalf("sub-threshold cell gated: %v", err)
+	}
+	// No overlap at all is an error, not a silent pass.
+	if err := CheckFloors(mk(map[string]float64{"x": 1}), committed); err == nil {
+		t.Fatal("disjoint artifacts accepted")
+	}
+	if err := CheckFloors(nil, committed); err == nil {
+		t.Fatal("nil artifact accepted")
+	}
+}
+
 func TestCheckRejects(t *testing.T) {
 	art := Run(Options{Scale: Quick, Trials: 1, Seed: 7})
 	if err := Check(art, Quick); err != nil {

@@ -46,6 +46,103 @@ type Waker interface {
 	NextWake(now int64) int64
 }
 
+// NumShards is the fixed shard count of every Partitioned protocol in
+// this repository.  The count is deliberately a constant, independent of
+// how many worker goroutines the engine runs: the shard structure (which
+// packet belongs to which shard, how per-slot output chunks) is part of
+// a protocol's deterministic execution, so it must not vary with the
+// machine or the Config.Workers knob.  Workers only decides how many
+// goroutines sweep the fixed shards; results are bit-identical at any
+// worker count by construction.
+const NumShards = 16
+
+// Partitioned is an optional interface for protocols whose per-slot
+// station work can fan out across NumShards shards, letting the staged
+// engine (sim.Config.Workers ≥ 1) parallelize one huge trial.
+//
+// The staged per-slot cycle is
+//
+//	PrepareSlot(now)                     // centralized decisions, serial
+//	ShardTransmitters(now, 0..S-1, ...)  // fan-out, any order/concurrency
+//	          ... medium Step ...
+//	ShardObserve(0..S-1, fb)             // fan-out, any order/concurrency
+//	ReduceSlot(fb)                       // centralized reduce, serial
+//
+// and the contract is bit-exactness: with the engine concatenating the
+// ShardTransmitters outputs in shard order, the cycle must leave the
+// protocol in exactly the state (including its RNG stream position) the
+// monolithic Transmitters/Observe cycle would, and emit exactly the same
+// transmitter list in the same order.  The discipline that makes this
+// achievable: every state update that consumes randomness or touches
+// shared structures lives in PrepareSlot/ReduceSlot (serial stages);
+// ShardTransmitters and ShardObserve only read shared state and write
+// shard-local state.  Implementations must keep ShardTransmitters and
+// ShardObserve free of data races when called concurrently for distinct
+// shards.
+type Partitioned interface {
+	Protocol
+
+	// Shards returns the shard count (NumShards for every in-repo
+	// implementation).  It must be constant over the protocol's lifetime.
+	Shards() int
+
+	// PrepareSlot runs the slot's centralized decision step — epoch
+	// start, joiner selection, schedule pops: everything that consumes
+	// the protocol's RNG or rewrites shared state.  The engine calls it
+	// exactly once per stepped slot, before any ShardTransmitters call.
+	PrepareSlot(now int64)
+
+	// ShardTransmitters appends shard `shard`'s transmitters for slot
+	// `now` to buf and returns it.  Concatenated in increasing shard
+	// order, the shard outputs must equal what Transmitters would have
+	// returned after the same PrepareSlot.  Safe for concurrent calls
+	// with distinct shards; must not mutate shared state.
+	ShardTransmitters(now int64, shard int, buf []channel.PacketID) []channel.PacketID
+
+	// ShardObserve delivers the slot's feedback to shard `shard`'s local
+	// state.  Safe for concurrent calls with distinct shards; must not
+	// mutate shared state.  Protocols whose feedback handling is
+	// inherently centralized (all in-repo ones) implement it as a no-op
+	// and do the work in ReduceSlot.
+	ShardObserve(shard int, fb channel.Feedback)
+
+	// ReduceSlot runs the slot's centralized feedback reduce after every
+	// ShardObserve call returned.  After it, the protocol's state must be
+	// bit-identical to what Observe(fb) would have produced on the serial
+	// path.
+	ReduceSlot(fb channel.Feedback)
+
+	// ShardPending returns the number of pending packets owned by shard
+	// `shard`; the sum over all shards must equal Pending().  Ownership
+	// is by packet ID (id mod Shards()) for every in-repo implementation.
+	ShardPending(shard int) int
+}
+
+// PartitionedWaker is the sharded counterpart of Waker: the staged
+// engine computes a fast-forward target by reducing per-shard wake
+// times with min (ignoring negative "no wake" answers), and that reduce
+// must equal NextWake.  ShardNextWake is called from the serial advance
+// stage, so — unlike ShardTransmitters/ShardObserve — it may touch
+// shared state (e.g. lazily popping dead schedule entries).
+type PartitionedWaker interface {
+	Partitioned
+	Waker
+
+	// ShardNextWake returns the next slot at or after now at which shard
+	// `shard` may transmit, or -1 if it never will.  min over the
+	// non-negative answers must equal NextWake(now) (or every shard
+	// answers -1 exactly when NextWake has no wake-up to report).
+	ShardNextWake(now int64, shard int) int64
+}
+
+// ShardRange returns the half-open chunk [lo, hi) of an n-element,
+// shard-order-preserving contiguous split: concatenating the chunks in
+// increasing shard order reproduces the original slice.  Chunk sizes
+// differ by at most one.
+func ShardRange(n, shard, shards int) (lo, hi int) {
+	return n * shard / shards, n * (shard + 1) / shards
+}
+
 // EpochKind classifies Decodable Backoff epochs; exported here so the
 // measurement harness can consume epoch statistics without importing the
 // core package's internals.

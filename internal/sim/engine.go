@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"repro/internal/channel"
+	"repro/internal/protocol"
+)
+
+// fanOutGrain is the transmitter-count threshold below which the staged
+// engine runs its shard stages inline instead of fanning them out over
+// worker goroutines: with only a few transmitters the per-slot
+// synchronization would dwarf the work.  The decision is made from the
+// previous slot's transmitter count and affects scheduling only —
+// results are bit-identical either way, so the threshold is a pure
+// performance knob.
+const fanOutGrain = 1 << 14
+
+// stepper abstracts how the slot loop talks to the protocol, so the
+// serial reference path and the staged shard/step/reduce path share one
+// loop (arrivals, medium step, delivery accounting, fast-forward) and
+// can only differ in how the per-slot station work is scheduled.  The
+// Partitioned contract makes both paths bit-identical.
+type stepper interface {
+	// collect appends the slot's transmitters to buf (stage: prepare +
+	// transmit-collect).
+	collect(now int64, buf []channel.PacketID) []channel.PacketID
+	// observe delivers the slot's feedback (stage: feedback fan-out +
+	// reduce).
+	observe(fb channel.Feedback)
+	// pending returns the current backlog (stage: reduce accounting).
+	pending() int
+	// hasWaker reports whether nextWake is meaningful.
+	hasWaker() bool
+	// nextWake returns the protocol's next wake-up at or after now, or a
+	// negative value if it will never transmit again unprompted.
+	nextWake(now int64) int64
+}
+
+// newStepper selects the execution path: the staged engine when the
+// caller asked for workers and the protocol is Partitioned, the serial
+// reference loop otherwise.
+func newStepper(workers int, proto protocol.Protocol) stepper {
+	if workers >= 1 {
+		if p, ok := proto.(protocol.Partitioned); ok {
+			st := &stagedStepper{
+				p:       p,
+				shards:  p.Shards(),
+				workers: workers,
+				bufs:    make([][]channel.PacketID, p.Shards()),
+			}
+			st.pw, _ = proto.(protocol.PartitionedWaker)
+			return st
+		}
+	}
+	st := &serialStepper{proto: proto}
+	st.waker, _ = proto.(protocol.Waker)
+	return st
+}
+
+// serialStepper is the legacy reference path: the monolithic
+// Transmitters/Observe cycle, single-threaded.
+type serialStepper struct {
+	proto protocol.Protocol
+	waker protocol.Waker // nil when the protocol has none
+}
+
+func (s *serialStepper) collect(now int64, buf []channel.PacketID) []channel.PacketID {
+	return s.proto.Transmitters(now, buf)
+}
+
+func (s *serialStepper) observe(fb channel.Feedback) { s.proto.Observe(fb) }
+func (s *serialStepper) pending() int                { return s.proto.Pending() }
+func (s *serialStepper) hasWaker() bool              { return s.waker != nil }
+func (s *serialStepper) nextWake(now int64) int64    { return s.waker.NextWake(now) }
+
+// stagedStepper runs the explicit shard/step/reduce cycle:
+//
+//	PrepareSlot → ShardTransmitters fan-out → (medium Step, in the
+//	shared loop) → ShardObserve fan-out → ReduceSlot → per-shard
+//	pending reduce
+//
+// with up to `workers` goroutines sweeping the fixed shard set when the
+// slot is busy enough to pay for the synchronization.  Because the
+// shard structure never depends on workers, and the Partitioned
+// contract pins the RNG stream and transmitter order to the serial
+// cycle, results are bit-identical at any worker count.
+type stagedStepper struct {
+	p       protocol.Partitioned
+	pw      protocol.PartitionedWaker // nil when the protocol has none
+	shards  int
+	workers int
+	bufs    [][]channel.PacketID // per-shard transmit buffers, reused across slots
+	lastTx  int                  // previous slot's transmitter count (fan-out grain)
+}
+
+func (s *stagedStepper) collect(now int64, buf []channel.PacketID) []channel.PacketID {
+	s.p.PrepareSlot(now)
+	if s.workers > 1 && s.lastTx >= fanOutGrain {
+		ForEach(s.shards, s.workers, func(sh int) {
+			s.bufs[sh] = s.p.ShardTransmitters(now, sh, s.bufs[sh][:0])
+		})
+		for sh := 0; sh < s.shards; sh++ {
+			buf = append(buf, s.bufs[sh]...)
+		}
+	} else {
+		// Inline sweep, same shard order: identical concatenation.
+		for sh := 0; sh < s.shards; sh++ {
+			buf = s.p.ShardTransmitters(now, sh, buf)
+		}
+	}
+	s.lastTx = len(buf)
+	return buf
+}
+
+func (s *stagedStepper) observe(fb channel.Feedback) {
+	if s.workers > 1 && s.lastTx >= fanOutGrain {
+		ForEach(s.shards, s.workers, func(sh int) { s.p.ShardObserve(sh, fb) })
+	} else {
+		for sh := 0; sh < s.shards; sh++ {
+			s.p.ShardObserve(sh, fb)
+		}
+	}
+	s.p.ReduceSlot(fb)
+}
+
+// pending reduces the per-shard backlog counts.  The Partitioned
+// contract makes the sum equal Pending(); using the reduce here keeps
+// the shard-ownership bookkeeping on the hot path where tests can catch
+// a drifting implementation immediately.
+func (s *stagedStepper) pending() int {
+	n := 0
+	for sh := 0; sh < s.shards; sh++ {
+		n += s.p.ShardPending(sh)
+	}
+	return n
+}
+
+func (s *stagedStepper) hasWaker() bool { return s.pw != nil }
+
+// nextWake reduces the per-shard wake times with min over the
+// non-negative answers, which the PartitionedWaker contract requires to
+// equal NextWake — so fast-forward skip targets match the serial path.
+func (s *stagedStepper) nextWake(now int64) int64 {
+	wake := int64(-1)
+	for sh := 0; sh < s.shards; sh++ {
+		if w := s.pw.ShardNextWake(now, sh); w >= 0 && (wake < 0 || w < wake) {
+			wake = w
+		}
+	}
+	return wake
+}

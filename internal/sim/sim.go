@@ -80,6 +80,17 @@ type Config struct {
 	// stateful: construct one per run, never share across concurrent
 	// runs.
 	Adversary adversary.Adversary
+	// Workers selects the execution path for the per-slot station work.
+	// 0 runs the serial legacy slot loop, which stays the reference.
+	// W ≥ 1 runs the staged shard/step/reduce engine, fanning the
+	// per-shard transmit-collect and feedback stages out over up to W
+	// goroutines when the protocol implements protocol.Partitioned (a
+	// non-partitioned protocol falls back to the serial path regardless).
+	// Results are bit-identical for every value — the Partitioned
+	// contract pins the RNG stream and the transmitter order to the
+	// serial cycle — so Workers is a pure wall-clock knob: it is
+	// deliberately excluded from sweep cell identities.
+	Workers int
 }
 
 // NoWindowCap disables the decoding-window length cap.
@@ -308,7 +319,7 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 		drainLimit = 0
 	}
 	end := cfg.Horizon
-	waker, hasWaker := proto.(protocol.Waker)
+	st := newStepper(cfg.Workers, proto)
 	observer, hasObserver := arr.(arrival.Observer)
 
 	var nextID channel.PacketID
@@ -319,7 +330,7 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 
 	for now := int64(0); ; {
 		if now >= end {
-			if !cfg.Drain || proto.Pending() == 0 || now >= cfg.Horizon+drainLimit {
+			if !cfg.Drain || st.pending() == 0 || now >= cfg.Horizon+drainLimit {
 				res.Elapsed = now
 				break
 			}
@@ -341,11 +352,12 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 				}
 			}
 		}
-		// One channel slot.
-		txBuf = proto.Transmitters(now, txBuf[:0])
+		// One channel slot: prepare + transmit-collect, the single-threaded
+		// medium step, then feedback fan-out + reduce.
+		txBuf = st.collect(now, txBuf[:0])
 		_, ev := m.Step(now, txBuf)
 		m.Feedback(&fb)
-		proto.Observe(fb)
+		st.observe(fb)
 		if hasObserver {
 			observer.ObserveSlot(fb)
 		}
@@ -360,7 +372,7 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 				}
 			}
 		}
-		backlog := proto.Pending()
+		backlog := st.pending()
 		if backlog > res.MaxBacklog {
 			res.MaxBacklog = backlog
 		}
@@ -379,8 +391,8 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 				return finish(res, m, proto, fl)
 			}
 			next = na
-		} else if hasWaker {
-			nw := waker.NextWake(now)
+		} else if st.hasWaker() {
+			nw := st.nextWake(now)
 			if nw > now+1 {
 				next = nw
 				if now+1 < cfg.Horizon {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/adversary"
@@ -391,9 +392,12 @@ func TestLargeBatchBoundedBookkeeping(t *testing.T) {
 	// complete with per-packet bookkeeping bounded by the backlog peak
 	// (== n for a batch) and latency retention bounded by the reservoir —
 	// the scales the former O(arrivals) Latencies slice made impractical.
+	// Workers: GOMAXPROCS runs the staged shard/step/reduce path at scale
+	// (this batch crosses the fan-out grain), so the CI -race job drives
+	// the parallel shard sweep through a full Theorem 16 regime run.
 	const n, kappa = 1_000_000, 64
 	res := Run(Config{Kappa: kappa, Horizon: 1, Drain: true,
-		DrainLimit: 8*n + 1<<20, Seed: 5},
+		DrainLimit: 8*n + 1<<20, Seed: 5, Workers: runtime.GOMAXPROCS(0)},
 		core.New(kappa, rng.New(6)), &arrival.Batch{At: 0, N: n})
 	if res.Delivered != n || res.Pending != 0 {
 		t.Fatalf("delivered %d of %d (pending %d)", res.Delivered, n, res.Pending)

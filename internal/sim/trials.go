@@ -49,13 +49,33 @@ func RunSeededTrials(seeds []uint64, parallelism int, f TrialFunc) []*Result {
 	if n == 0 {
 		return nil
 	}
+	results := make([]*Result, n)
+	ForEach(n, parallelism, func(i int) { results[i] = f(i, seeds[i]) })
+	return results
+}
+
+// ForEach invokes fn(i) for every i in [0, n), fanning the calls out
+// over up to `parallelism` goroutines (0 = GOMAXPROCS), and returns
+// once all calls have completed.  It is the repository's one
+// worker-pool implementation: trial fan-out, the experiments runner,
+// and the staged engine's shard stages all go through it.  fn must be
+// safe for concurrent calls with distinct i.
+func ForEach(n, parallelism int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	if parallelism > n {
 		parallelism = n
 	}
-	results := make([]*Result, n)
+	if parallelism == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < parallelism; w++ {
@@ -63,7 +83,7 @@ func RunSeededTrials(seeds []uint64, parallelism int, f TrialFunc) []*Result {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = f(i, seeds[i])
+				fn(i)
 			}
 		}()
 	}
@@ -72,7 +92,6 @@ func RunSeededTrials(seeds []uint64, parallelism int, f TrialFunc) []*Result {
 	}
 	close(next)
 	wg.Wait()
-	return results
 }
 
 // Aggregate summarizes a metric over trial results.

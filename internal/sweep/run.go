@@ -17,6 +17,12 @@ const protoSeedSalt = 0x70726f746f636f6c // "protocol"
 type Options struct {
 	// Parallelism bounds concurrent trials (0 = GOMAXPROCS).
 	Parallelism int
+	// Workers sets sim.Config.Workers (the staged intra-trial engine)
+	// for trials whose spec leaves its own Workers unset.  It is an
+	// execution-side knob of the machine running the sweep: results are
+	// bit-identical at any value, so — like Parallelism — it never
+	// enters cell identities or artifacts.
+	Workers int
 	// OnCell, if set, is called as each selected cell completes —
 	// executed, or (under Resume) loaded from the cache — with the number
 	// of completed cells and the selected total.  Calls are serialized;
@@ -202,7 +208,11 @@ func runCells(spec *Spec, cells []Scenario, selected []int, opts Options) ([]Ind
 			sc := cells[out[si].Index]
 			var errCount int64
 			proto := spec.buildProtocol(sc, seed^protoSeedSalt, &errCount)
-			res := sim.Run(spec.config(sc, seed), proto, spec.buildArrival(sc))
+			cfg := spec.config(sc, seed)
+			if cfg.Workers == 0 {
+				cfg.Workers = opts.Workers
+			}
+			res := sim.Run(cfg, proto, spec.buildArrival(sc))
 			outs[job] = trialOut{res: res, errEpochs: errCount}
 			if atomic.AddInt32(&remaining[p], -1) == 0 {
 				out[si].Cell = summarize(sc, outs[p*spec.Trials:(p+1)*spec.Trials])

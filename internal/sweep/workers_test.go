@@ -1,0 +1,99 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestWorkersCellIdentityNeutral pins the PR's identity contract: the
+// Workers knob must not move cell identities (a cached cell computed at
+// any worker count is valid at every other), and a spec that leaves
+// Workers unset must hash exactly as it did before the knob existed
+// (omitempty keeps it out of the normalized JSON).
+func TestWorkersCellIdentityNeutral(t *testing.T) {
+	serial, staged := smallSpec(), smallSpec()
+	staged.Workers = 8
+	if err := serial.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := staged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cells := serial.Expand()
+	seeds := serial.jobSeeds(len(cells))
+	for i, sc := range cells {
+		s := seeds[i*serial.Trials : (i+1)*serial.Trials]
+		if cellID(sc, &serial, s) != cellID(sc, &staged, s) {
+			t.Fatalf("cell %d (%s): identity moved with Workers", i, sc.Key())
+		}
+	}
+
+	data, err := json.Marshal(&serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("workers")) {
+		t.Fatalf("unset Workers leaks into normalized spec JSON (hash would move): %s", data)
+	}
+}
+
+// TestWorkersGridByteIdentical runs one grid three ways — serial,
+// staged via Options.Workers (the per-machine flag), staged via
+// Spec.Workers (a spec that pins it) — and requires byte-identical
+// artifacts, the sweep-level face of the engine's equality contract.
+func TestWorkersGridByteIdentical(t *testing.T) {
+	ref, err := Run(smallSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := ref.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	viaOpts, err := Run(smallSpec(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsJSON, err := viaOpts.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refJSON, optsJSON) {
+		t.Error("Options.Workers changed the grid artifact")
+	}
+
+	pinned := smallSpec()
+	pinned.Workers = 3
+	viaSpec, err := Run(pinned, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specJSON, err := viaSpec.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The spec block embedded in the artifact now carries workers: 3, so
+	// compare the cells, not the raw bytes.
+	var a, b struct {
+		Cells json.RawMessage `json:"cells"`
+	}
+	if err := json.Unmarshal(refJSON, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(specJSON, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Cells, b.Cells) {
+		t.Error("Spec.Workers changed the grid's cells")
+	}
+}
+
+func TestValidateRejectsNegativeWorkers(t *testing.T) {
+	s := smallSpec()
+	s.Workers = -1
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+}
