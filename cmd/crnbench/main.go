@@ -7,6 +7,7 @@
 // Usage:
 //
 //	crnbench [-scale quick|full] [-trials N] [-seed S] [-out BENCH_engine.json] [-gate] [-quiet]
+//	crnbench -compare OLD.json NEW.json
 //
 // Examples:
 //
@@ -15,6 +16,7 @@
 //	crnbench -scale full -trials 3            # the n=10^6 large-batch grid
 //	crnbench -out /tmp/b.json -gate -quiet    # CI smoke: write, re-parse, validate, alloc-gate
 //	crnbench -out /tmp/b.json -gate -baseline BENCH_engine.json  # + slots/sec floors vs the committed artifact
+//	crnbench -compare BENCH_engine.json /tmp/b.json  # markdown per-cell delta table, no benchmarking
 package main
 
 import (
@@ -36,7 +38,24 @@ func main() {
 	gate := flag.Bool("gate", false, "after writing, re-parse the artifact and fail on a missing grid cell or an allocs/slot regression in the steady classical cell")
 	baseline := flag.String("baseline", "", "with -gate: committed artifact whose slots/sec set per-cell floors (host-speed normalized, 2x slack)")
 	quiet := flag.Bool("quiet", false, "suppress the table and progress output")
+	compare := flag.Bool("compare", false, "compare two artifacts: crnbench -compare OLD.json NEW.json emits a markdown delta table and runs no benchmarks")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two artifact paths: OLD.json NEW.json"))
+		}
+		old, err := loadArtifact(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		fresh, err := loadArtifact(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(perf.Compare(old, fresh))
+		return
+	}
 
 	var scale perf.Scale
 	switch *scaleName {
@@ -117,6 +136,18 @@ func main() {
 	} else if *baseline != "" {
 		fatal(fmt.Errorf("-baseline needs -gate"))
 	}
+}
+
+func loadArtifact(path string) (*perf.Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var art perf.Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("%s does not parse: %w", path, err)
+	}
+	return &art, nil
 }
 
 func table(art *perf.Artifact) *report.Table {

@@ -63,10 +63,13 @@ type Adversary interface {
 // one over any channel model with medium.JamAdversary.
 type Jammer interface {
 	Adversary
-	// Jams reports whether slot now is jammed.  It is called once per
-	// stepped slot in increasing order, before that slot's Observe.  The
-	// rng is reseeded from (seed, now) before every call, so randomized
-	// decisions are slot-keyed (rule 1 above).
+	// Jams reports whether slot now is jammed.  Slots are asked about in
+	// increasing order, before each slot's Observe, but the same slot may
+	// be asked about more than once (the engine's fast-forward probes a
+	// slot and may then step it fully).  The rng is reseeded from
+	// (seed, now) before every call, so randomized decisions are
+	// slot-keyed (rule 1 above) and repeated calls agree; implementations
+	// must not mutate state in Jams.
 	Jams(now int64, r *rng.Rand) bool
 }
 

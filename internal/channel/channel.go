@@ -16,11 +16,21 @@
 // events.  They cannot distinguish good slots from bad ones.  The
 // Feedback type exposes exactly that interface; the SlotClass returned by
 // Step is for the measurement harness only.
+//
+// The per-slot path is built to stay off the allocator and out of the
+// map runtime: last-occurrence tracking lives in a paged arena keyed by
+// packet ID (internal/arena), window occupancy is a uint64 bitset
+// (linalg.Bits) so detection scans words instead of entries, duplicate
+// validation sorts a reused scratch slice, and the decoding event and
+// its packet slice are reused across events.
 package channel
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+
+	"repro/internal/arena"
+	"repro/internal/linalg"
 )
 
 // PacketID identifies a packet in the system.  IDs are assigned by the
@@ -115,23 +125,47 @@ type Channel struct {
 
 	entries  []goodEntry // good slots since the last decoding event
 	firstAbs int         // absolute index of entries[0]
-	lastOcc  map[PacketID]occRef
+	// occ tracks which tracked entries still have live members (bit i ↔
+	// entries[i] non-empty) and total counts live members across them,
+	// so event detection walks only non-empty entries via word scans.
+	occ   linalg.Bits
+	total int
+	// lastOcc maps a packet ID to its most recent broadcast; the paged
+	// arena replaces the map that used to dominate the slot profile.
+	lastOcc arena.Index[occRef]
 
 	stats Stats
-	// Duplicate detection uses a generation-stamped map so that no
-	// per-slot map clearing is needed: clear() on a Go map costs its
-	// historical capacity, which is ruinous after one huge bad slot.
-	seen    map[PacketID]uint64
-	seenGen uint64
 	// prevTxs caches the last validated transmitter list: epoch-based
 	// protocols resend identical sets for many consecutive slots, and an
-	// equality scan is far cheaper than re-hashing thousands of IDs.
+	// equality scan is far cheaper than re-validating thousands of IDs.
 	prevTxs []PacketID
+	// prevRec/prevRecSlot remember the transmitter list of the last
+	// recorded good slot, enabling record's wholesale-move fast path when
+	// an epoch retransmits the identical set.
+	prevRec     []PacketID
+	prevRecSlot int64
+	// dupScratch is the reused sort buffer for large-slot duplicate
+	// validation.
+	dupScratch []PacketID
 	// freeMembers recycles goodEntry member storage: every good slot
 	// needs a members slice, and without recycling the steady-state
 	// per-slot path allocates one per good slot.  The pool is bounded by
 	// the peak number of simultaneously tracked entries.
 	freeMembers [][]PacketID
+
+	// ev and evPackets back the returned decoding event, reused across
+	// events so the steady-state path never allocates.
+	ev        Event
+	evPackets []PacketID
+
+	// lastBad guards StepRepeat: only a slot known to repeat a bad slot
+	// may skip classification.
+	lastBad bool
+
+	// sdup and flat serve StepSharded (chunked transmitter input from
+	// the staged engine).
+	sdup ShardedDup
+	flat []PacketID
 }
 
 // New returns a channel with decoding threshold kappa.  maxWindow caps
@@ -146,12 +180,7 @@ func New(kappa, maxWindow int) *Channel {
 	if maxWindow < 0 {
 		panic("channel: negative maxWindow")
 	}
-	return &Channel{
-		kappa:     kappa,
-		maxWindow: maxWindow,
-		lastOcc:   make(map[PacketID]occRef),
-		seen:      make(map[PacketID]uint64),
-	}
+	return &Channel{kappa: kappa, maxWindow: maxWindow}
 }
 
 // Kappa returns the decoding threshold.
@@ -179,6 +208,9 @@ func (c *Channel) AddSilent(n int64) {
 // must be fed in increasing time order.  Step panics if txs contains a
 // duplicate ID (one device cannot send two packets at once).
 //
+// The returned Event (and its Packets slice) is only valid until the
+// channel is next stepped; callers that need it longer must copy it.
+//
 // Jamming is not the channel's concern: adversarial slot-spoiling lives
 // in the medium layer (internal/medium.Jam), which composes a jammer
 // over any medium and never forwards spoiled slots here.
@@ -186,13 +218,71 @@ func (c *Channel) Step(now int64, txs []PacketID) (SlotClass, *Event) {
 	switch {
 	case len(txs) == 0:
 		c.stats.SilentSlots++
+		c.lastBad = false
 		return Silent, nil
 	case len(txs) > c.kappa:
 		c.checkDuplicates(txs)
 		c.stats.BadSlots++
+		c.lastBad = true
 		return Bad, nil
 	}
 	c.checkDuplicates(txs)
+	c.lastBad = false
+	return Good, c.goodSlot(now, txs)
+}
+
+// StepRepeat replays the most recently stepped slot's transmitter
+// multiset at slot now, in O(1).  It is only valid when that slot
+// classified Bad — bad slots never change detector state, so replaying
+// one moves a counter and nothing else.  The engine's event-driven
+// fast-forward uses it to coast through runs of provably identical bad
+// slots (e.g. the tail of an overfull epoch) without re-collecting or
+// re-validating thousands of transmitters per slot.
+func (c *Channel) StepRepeat(now int64) (SlotClass, *Event) {
+	if !c.lastBad {
+		panic("channel: StepRepeat without a preceding bad slot")
+	}
+	c.stats.BadSlots++
+	return Bad, nil
+}
+
+// StepSharded is Step for a transmitter list delivered as ordered
+// chunks — the staged engine's per-shard buffers — with identical
+// semantics and statistics to Step(now, concatenation of chunks).
+// Good slots (at most κ transmitters) flatten and take the serial
+// path; the O(transmitters) duplicate validation of large bad slots
+// runs as per-shard partials scheduled through fan and merged in shard
+// order, so the result (including which duplicate a protocol bug
+// panics on) is identical at every worker count.  A nil fan runs the
+// partials inline.
+func (c *Channel) StepSharded(now int64, chunks [][]PacketID, fan FanOut) (SlotClass, *Event) {
+	total := 0
+	for _, ch := range chunks {
+		total += len(ch)
+	}
+	switch {
+	case total == 0:
+		c.stats.SilentSlots++
+		c.lastBad = false
+		return Silent, nil
+	case total > c.kappa:
+		c.sdup.Check("channel", chunks, fan)
+		c.stats.BadSlots++
+		c.lastBad = true
+		return Bad, nil
+	}
+	c.flat = c.flat[:0]
+	for _, ch := range chunks {
+		c.flat = append(c.flat, ch...)
+	}
+	c.checkDuplicates(c.flat)
+	c.lastBad = false
+	return Good, c.goodSlot(now, c.flat)
+}
+
+// goodSlot runs the good-slot pipeline: prune the window cap, record
+// the broadcast, detect a decoding event.
+func (c *Channel) goodSlot(now int64, txs []PacketID) *Event {
 	c.stats.GoodSlots++
 	c.prune(now)
 	c.record(now, txs)
@@ -202,7 +292,7 @@ func (c *Channel) Step(now int64, txs []PacketID) (SlotClass, *Event) {
 		c.stats.Delivered += int64(len(ev.Packets))
 		c.reset()
 	}
-	return Good, ev
+	return ev
 }
 
 func (c *Channel) checkDuplicates(txs []PacketID) {
@@ -212,27 +302,39 @@ func (c *Channel) checkDuplicates(txs []PacketID) {
 	if sameIDs(txs, c.prevTxs) {
 		return // identical to the already-validated previous slot
 	}
-	if len(txs) <= 32 {
-		// Quadratic scan beats map traffic for the common small slots.
-		for i := 1; i < len(txs); i++ {
-			for j := 0; j < i; j++ {
-				if txs[i] == txs[j] {
-					panic(fmt.Sprintf("channel: packet %d transmitted twice in one slot", txs[i]))
-				}
-			}
-		}
-	} else {
-		c.seenGen++
-		for _, id := range txs {
-			if c.seen[id] == c.seenGen {
-				panic(fmt.Sprintf("channel: packet %d transmitted twice in one slot", id))
-			}
-			c.seen[id] = c.seenGen
-		}
+	if id, found := findDup(txs, &c.dupScratch); found {
+		panic(fmt.Sprintf("channel: packet %d transmitted twice in one slot", id))
 	}
 	// Cache only lists that passed validation, so a caller that recovers
 	// from the panic cannot sneak the same invalid list past the cache.
 	c.prevTxs = append(c.prevTxs[:0], txs...)
+}
+
+// findDup reports a duplicated ID in txs.  Small lists use a quadratic
+// scan (cheaper than any setup); larger ones sort a reused scratch copy
+// and scan adjacent pairs, so validation needs no map and no per-call
+// allocation.  The reported duplicate is deterministic: first by
+// position for small lists, smallest duplicated ID for large ones.
+func findDup(txs []PacketID, scratch *[]PacketID) (PacketID, bool) {
+	if len(txs) <= 32 {
+		for i := 1; i < len(txs); i++ {
+			for j := 0; j < i; j++ {
+				if txs[i] == txs[j] {
+					return txs[i], true
+				}
+			}
+		}
+		return 0, false
+	}
+	s := append((*scratch)[:0], txs...)
+	slices.Sort(s)
+	*scratch = s
+	for i := 1; i < len(s); i++ {
+		if s[i] == s[i-1] {
+			return s[i], true
+		}
+	}
+	return 0, false
 }
 
 // sameIDs reports whether a and b are element-wise identical.
@@ -268,7 +370,9 @@ func (c *Channel) recycleMembers(s []PacketID) {
 }
 
 // prune drops good slots that can no longer start a window ending at or
-// after now because of the window-length cap.
+// after now because of the window-length cap.  Only entries with live
+// members need their packets untracked; the occupancy bitset finds them
+// without touching the (typically emptied) rest.
 func (c *Channel) prune(now int64) {
 	if c.maxWindow == 0 {
 		return
@@ -276,34 +380,66 @@ func (c *Channel) prune(now int64) {
 	minStart := now - int64(c.maxWindow) + 1
 	drop := 0
 	for drop < len(c.entries) && c.entries[drop].slot < minStart {
-		for _, id := range c.entries[drop].members {
-			delete(c.lastOcc, id)
-			c.stats.PrunedPackets++
-		}
-		c.recycleMembers(c.entries[drop].members)
-		c.entries[drop].members = nil
 		drop++
 	}
-	if drop > 0 {
-		c.entries = c.entries[drop:]
-		c.firstAbs += drop
+	if drop == 0 {
+		return
 	}
+	for pos := c.occ.NextSet(0); pos >= 0 && pos < drop; pos = c.occ.NextSet(pos + 1) {
+		members := c.entries[pos].members
+		for _, id := range members {
+			c.lastOcc.Delete(int64(id))
+			c.stats.PrunedPackets++
+		}
+		c.total -= len(members)
+		c.recycleMembers(members)
+		c.entries[pos].members = nil
+	}
+	c.entries = c.entries[drop:]
+	c.firstAbs += drop
+	c.occ.ShiftDown(drop)
 }
 
 // record appends the good slot and moves each transmitter's last
 // occurrence to it.
 func (c *Channel) record(now int64, txs []PacketID) {
-	abs := c.firstAbs + len(c.entries)
-	entry := goodEntry{slot: now, members: c.newMembers(len(txs))}
-	c.entries = append(c.entries, entry)
-	e := &c.entries[len(c.entries)-1]
+	idx := len(c.entries)
+	abs := c.firstAbs + idx
+	if idx > 0 && c.entries[idx-1].slot == c.prevRecSlot &&
+		len(c.entries[idx-1].members) == len(txs) && sameIDs(txs, c.prevRec) {
+		// Epoch fast path: the previous good slot was the last entry, its
+		// members are untouched (same length, and members only shrink),
+		// and the identical list retransmitted — every last occurrence
+		// moves wholesale.  Steal the member slice and rewrite only the
+		// entry coordinate of each reference; the previous entry empties,
+		// exactly as the general path's per-packet Swap/remove would
+		// leave it.
+		prev := &c.entries[idx-1]
+		members := prev.members
+		prev.members = nil
+		c.entries = append(c.entries, goodEntry{slot: now, members: members})
+		c.occ.EnsureBits(idx + 1)
+		c.occ.Clear(idx - 1)
+		c.occ.Set(idx)
+		for pos, id := range members {
+			c.lastOcc.Put(int64(id), occRef{abs: abs, pos: pos})
+		}
+		c.prevRecSlot = now
+		return
+	}
+	c.entries = append(c.entries, goodEntry{slot: now, members: c.newMembers(len(txs))})
+	c.occ.EnsureBits(idx + 1)
+	e := &c.entries[idx]
 	for _, id := range txs {
-		if ref, ok := c.lastOcc[id]; ok {
+		if ref, ok := c.lastOcc.Swap(int64(id), occRef{abs: abs, pos: len(e.members)}); ok {
 			c.removeMember(ref)
 		}
 		e.members = append(e.members, id)
-		c.lastOcc[id] = occRef{abs: abs, pos: len(e.members) - 1}
 	}
+	c.occ.Set(idx) // a good slot has at least one transmitter
+	c.total += len(txs)
+	c.prevRec = append(c.prevRec[:0], txs...)
+	c.prevRecSlot = now
 }
 
 // removeMember deletes the packet at ref from its entry's member list by
@@ -319,7 +455,16 @@ func (c *Channel) removeMember(ref occRef) {
 	m[ref.pos] = moved
 	c.entries[idx].members = m[:last]
 	if ref.pos != last {
-		c.lastOcc[moved] = occRef{abs: ref.abs, pos: ref.pos}
+		c.lastOcc.Put(int64(moved), occRef{abs: ref.abs, pos: ref.pos})
+	}
+	c.total--
+	if last == 0 {
+		// The entry just emptied: clear its occupancy bit and recycle the
+		// member storage now — an entry only ever loses members, so the
+		// slice would otherwise idle until the next event.
+		c.occ.Clear(idx)
+		c.recycleMembers(m)
+		c.entries[idx].members = nil
 	}
 }
 
@@ -329,44 +474,56 @@ func (c *Channel) removeMember(ref occRef) {
 // most the number of good slots from entry i onward.  Among valid starts
 // it picks the earliest, which delivers a superset of any other choice
 // (windows sharing an endpoint are nested).
+//
+// The scan walks only non-empty entries, oldest first, via the
+// occupancy bitset: every candidate start between two consecutive
+// non-empty entries sees the same suffix of tracked packets, so one
+// check per non-empty entry covers them all, and the first satisfied
+// check is the earliest valid start.
 func (c *Channel) detect(now int64) *Event {
-	distinct := 0
+	L := len(c.entries)
 	best := -1
-	for i := len(c.entries) - 1; i >= 0; i-- {
-		distinct += len(c.entries[i].members)
-		goodSlots := len(c.entries) - i
-		if distinct > 0 && distinct <= goodSlots {
-			best = i
+	prefix := 0 // live members in non-empty entries before pos
+	prev := -1  // previous non-empty entry position
+	for pos := c.occ.NextSet(0); pos >= 0 && pos < L; pos = c.occ.NextSet(pos + 1) {
+		// Candidate starts in (prev, pos] all see suffix = total-prefix
+		// distinct packets; the earliest, prev+1, is valid iff it leaves
+		// at least that many good slots.
+		if prev+1 <= L-(c.total-prefix) {
+			best = prev + 1
+			break
 		}
+		prefix += len(c.entries[pos].members)
+		prev = pos
 	}
 	if best < 0 {
 		return nil
 	}
-	var packets []PacketID
-	for i := best; i < len(c.entries); i++ {
-		packets = append(packets, c.entries[i].members...)
+	packets := c.evPackets[:0]
+	for pos := c.occ.NextSet(best); pos >= 0 && pos < L; pos = c.occ.NextSet(pos + 1) {
+		packets = append(packets, c.entries[pos].members...)
 	}
-	sort.Slice(packets, func(a, b int) bool { return packets[a] < packets[b] })
-	return &Event{
-		Slot:        now,
-		WindowStart: c.entries[best].slot,
-		Packets:     packets,
-	}
+	slices.Sort(packets)
+	c.evPackets = packets
+	c.ev = Event{Slot: now, WindowStart: c.entries[best].slot, Packets: packets}
+	return &c.ev
 }
 
 // reset discards all pending broadcast information: decoding windows must
-// be disjoint, so nothing before an event can be reused.  Deletion is by
-// key (size-proportional) rather than clear() (capacity-proportional).
+// be disjoint, so nothing before an event can be reused.
 func (c *Channel) reset() {
-	for i := range c.entries {
-		for _, id := range c.entries[i].members {
-			delete(c.lastOcc, id)
+	for pos := c.occ.NextSet(0); pos >= 0 && pos < len(c.entries); pos = c.occ.NextSet(pos + 1) {
+		members := c.entries[pos].members
+		for _, id := range members {
+			c.lastOcc.Delete(int64(id))
 		}
-		c.recycleMembers(c.entries[i].members)
-		c.entries[i].members = nil
+		c.recycleMembers(members)
+		c.entries[pos].members = nil
 	}
 	c.entries = c.entries[:0]
 	c.firstAbs = 0
+	c.total = 0
+	c.occ.Zero()
 }
 
 // Reset returns the channel to its initial state: the detector forgets
@@ -375,11 +532,11 @@ func (c *Channel) reset() {
 // channel be reused across runs without reallocation.
 func (c *Channel) Reset() {
 	c.reset()
+	c.lastOcc.Reset()
 	c.stats = Stats{}
 	c.prevTxs = c.prevTxs[:0]
-	// seen entries are generation-stamped; bumping the generation
-	// invalidates them all without touching the map.
-	c.seenGen++
+	c.lastBad = false
+	c.sdup.Reset()
 }
 
 // PendingGoodSlots returns the number of good slots currently tracked
@@ -389,4 +546,4 @@ func (c *Channel) PendingGoodSlots() int { return len(c.entries) }
 
 // PendingPackets returns the number of distinct packets with tracked
 // broadcasts.  Exposed for tests and diagnostics.
-func (c *Channel) PendingPackets() int { return len(c.lastOcc) }
+func (c *Channel) PendingPackets() int { return c.lastOcc.Len() }

@@ -30,6 +30,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/arena"
 	"repro/internal/channel"
 	"repro/internal/protocol"
 	"repro/internal/rng"
@@ -129,12 +130,20 @@ type DecodableBackoff struct {
 	rand      *rng.Rand
 	observer  protocol.EpochObserver
 
-	shift    int // global exponent shift: effective exponent = base + shift
-	buckets  []*bucket
-	byBase   map[int]*bucket
-	inactive []channel.PacketID
-	joiners  []joiner
-	loc      map[channel.PacketID]location
+	shift   int       // global exponent shift: effective exponent = base + shift
+	buckets []*bucket // sorted by base; indexed by binary search (≤ ~40 buckets live)
+	// freeBuckets recycles bucket structs so epoch churn (buckets empty
+	// and refill constantly) stays off the allocator.
+	freeBuckets []*bucket
+	overScratch []*bucket
+	inactive    []channel.PacketID
+	joiners     []joiner
+	// loc tracks where each pending packet lives so deliveries are O(1).
+	// A paged arena keyed by packet ID: arrival order keeps live IDs in a
+	// dense band, so the arena is both faster than a map on the per-epoch
+	// paths and bounded by the backlog span (pages of departed bands are
+	// recycled).
+	loc arena.Index[location]
 
 	active int // packets currently in buckets (excludes joiners and inactive)
 	// shardPending counts pending packets per engine shard (keyed by
@@ -156,6 +165,7 @@ type DecodableBackoff struct {
 
 var _ protocol.Protocol = (*DecodableBackoff)(nil)
 var _ protocol.Partitioned = (*DecodableBackoff)(nil)
+var _ protocol.Coaster = (*DecodableBackoff)(nil)
 
 // New returns a Decodable Backoff instance for decoding threshold kappa
 // (the paper requires κ ≥ 6) using the given random stream.
@@ -172,8 +182,6 @@ func New(kappa int, r *rng.Rand, opts ...Option) *DecodableBackoff {
 		p0:        1 / math.Sqrt(float64(kappa)),
 		admission: true,
 		rand:      r,
-		byBase:    make(map[int]*bucket),
-		loc:       make(map[channel.PacketID]location),
 	}
 	for _, opt := range opts {
 		opt(d)
@@ -220,11 +228,11 @@ func (d *DecodableBackoff) prob(e int) float64 {
 // stage (or activate immediately if admission control is disabled).
 func (d *DecodableBackoff) Inject(now int64, ids []channel.PacketID) {
 	for _, id := range ids {
-		if _, dup := d.loc[id]; dup {
+		if d.loc.Has(int64(id)) {
 			panic(fmt.Sprintf("core: duplicate injection of packet %d", id))
 		}
 		if d.admission {
-			d.loc[id] = location{where: inInactive, idx: len(d.inactive)}
+			d.loc.Put(int64(id), location{where: inInactive, idx: len(d.inactive)})
 			d.inactive = append(d.inactive, id)
 		} else {
 			d.addActive(id)
@@ -241,24 +249,55 @@ func (d *DecodableBackoff) Inject(now int64, ids []channel.PacketID) {
 // probability p0).
 func (d *DecodableBackoff) addActive(id channel.PacketID) {
 	b := d.getBucket(0 - d.shift)
-	d.loc[id] = location{where: inBucket, base: b.base, idx: len(b.ids)}
+	d.loc.Put(int64(id), location{where: inBucket, base: b.base, idx: len(b.ids)})
 	b.ids = append(b.ids, id)
 	d.active++
 }
 
-// getBucket returns the bucket with the given base, creating it (in
-// sorted position) if needed.
-func (d *DecodableBackoff) getBucket(base int) *bucket {
-	if b, ok := d.byBase[base]; ok {
-		return b
-	}
-	b := &bucket{base: base}
-	d.byBase[base] = b
+// bucketAt returns the index of the bucket with the given base in the
+// sorted bucket list, or the insertion point with found=false.  The
+// list stays tiny (one bucket per live exponent, a few dozen at most),
+// so binary search beats any map.
+func (d *DecodableBackoff) bucketAt(base int) (int, bool) {
 	i := sort.Search(len(d.buckets), func(i int) bool { return d.buckets[i].base >= base })
+	return i, i < len(d.buckets) && d.buckets[i].base == base
+}
+
+// getBucket returns the bucket with the given base, creating it (in
+// sorted position, recycling retired bucket structs) if needed.
+func (d *DecodableBackoff) getBucket(base int) *bucket {
+	i, found := d.bucketAt(base)
+	if found {
+		return d.buckets[i]
+	}
+	var b *bucket
+	if n := len(d.freeBuckets); n > 0 {
+		b = d.freeBuckets[n-1]
+		d.freeBuckets[n-1] = nil
+		d.freeBuckets = d.freeBuckets[:n-1]
+		b.base = base
+	} else {
+		b = &bucket{base: base}
+	}
 	d.buckets = append(d.buckets, nil)
 	copy(d.buckets[i+1:], d.buckets[i:])
 	d.buckets[i] = b
 	return b
+}
+
+// findBucket returns the bucket with the given base; it must exist.
+func (d *DecodableBackoff) findBucket(base int) *bucket {
+	i, found := d.bucketAt(base)
+	if !found {
+		panic(fmt.Sprintf("core: no bucket with base %d", base))
+	}
+	return d.buckets[i]
+}
+
+// recycleBucket stashes an empty bucket struct for reuse.
+func (d *DecodableBackoff) recycleBucket(b *bucket) {
+	b.ids = b.ids[:0]
+	d.freeBuckets = append(d.freeBuckets, b)
 }
 
 // dropBucketIfEmpty removes an empty bucket from the index.
@@ -266,10 +305,12 @@ func (d *DecodableBackoff) dropBucketIfEmpty(b *bucket) {
 	if len(b.ids) != 0 {
 		return
 	}
-	delete(d.byBase, b.base)
 	for i, bb := range d.buckets {
 		if bb == b {
-			d.buckets = append(d.buckets[:i], d.buckets[i+1:]...)
+			copy(d.buckets[i:], d.buckets[i+1:])
+			d.buckets[len(d.buckets)-1] = nil
+			d.buckets = d.buckets[:len(d.buckets)-1]
+			d.recycleBucket(b)
 			return
 		}
 	}
@@ -335,7 +376,7 @@ func (d *DecodableBackoff) startEpoch(now int64) {
 			idx := d.txScratch[k]
 			id := b.ids[idx]
 			d.removeFromBucket(b, idx)
-			d.loc[id] = location{where: inJoiners, idx: len(d.joiners)}
+			d.loc.Put(int64(id), location{where: inJoiners, idx: len(d.joiners)})
 			d.joiners = append(d.joiners, joiner{id: id, base: b.base})
 		}
 	}
@@ -348,10 +389,13 @@ func (d *DecodableBackoff) compactBuckets() {
 	out := d.buckets[:0]
 	for _, b := range d.buckets {
 		if len(b.ids) == 0 {
-			delete(d.byBase, b.base)
+			d.recycleBucket(b)
 			continue
 		}
 		out = append(out, b)
+	}
+	for i := len(out); i < len(d.buckets); i++ {
+		d.buckets[i] = nil
 	}
 	d.buckets = out
 }
@@ -364,7 +408,7 @@ func (d *DecodableBackoff) removeFromBucket(b *bucket, idx int) {
 	b.ids[idx] = moved
 	b.ids = b.ids[:last]
 	if idx != last {
-		d.loc[moved] = location{where: inBucket, base: b.base, idx: idx}
+		d.loc.Put(int64(moved), location{where: inBucket, base: b.base, idx: idx})
 	}
 	d.active--
 }
@@ -414,6 +458,19 @@ func (d *DecodableBackoff) ReduceSlot(fb channel.Feedback) { d.Observe(fb) }
 // ShardPending implements protocol.Partitioned.
 func (d *DecodableBackoff) ShardPending(shard int) int { return d.shardPending[shard] }
 
+// CoastUntil implements protocol.Coaster.  Joiners broadcast in every
+// slot of an epoch and arrivals never join one mid-flight, so once a
+// slot of the current epoch classifies Bad the transmitter set is
+// frozen — and every following epoch slot stays Bad — until the κ-slot
+// timeout ends the epoch at epochStart+κ-1.  Outside an epoch there is
+// nothing to coast.
+func (d *DecodableBackoff) CoastUntil(now int64) int64 {
+	if !d.inEpoch {
+		return now
+	}
+	return d.epochStart + int64(d.kappa) - 1
+}
+
 // Observe implements protocol.Protocol: epoch bookkeeping driven purely
 // by the two signals devices can hear (silence, decoding events) plus the
 // κ-slot timeout.
@@ -441,7 +498,7 @@ func (d *DecodableBackoff) Observe(fb channel.Feedback) {
 // system; all other probabilities are unchanged.
 func (d *DecodableBackoff) endSuccessful(fb channel.Feedback) {
 	for _, id := range fb.Event.Packets {
-		l, ok := d.loc[id]
+		l, ok := d.loc.Get(int64(id))
 		if !ok {
 			continue // not ours (possible only in multi-protocol setups)
 		}
@@ -451,13 +508,13 @@ func (d *DecodableBackoff) endSuccessful(fb channel.Feedback) {
 		case inBucket:
 			// A straggler delivered from an earlier window; possible only
 			// with exotic channel configurations, but handle it.
-			b := d.byBase[l.base]
+			b := d.findBucket(l.base)
 			d.removeFromBucket(b, l.idx)
 			d.dropBucketIfEmpty(b)
 		case inInactive:
 			d.removeInactive(l.idx)
 		}
-		delete(d.loc, id)
+		d.loc.Delete(int64(id))
 		d.shardPending[int(id)%protocol.NumShards]--
 		d.stats.Delivered++
 	}
@@ -482,8 +539,7 @@ func (d *DecodableBackoff) endSilent() {
 	d.shift++
 	d.mergeCapped()
 	for _, id := range d.inactive {
-		delete(d.loc, id) // addActive rewrites it
-		d.addActive(id)
+		d.addActive(id) // overwrites the inactive location
 		d.stats.Activations++
 	}
 	d.inactive = d.inactive[:0]
@@ -505,22 +561,26 @@ func (d *DecodableBackoff) endOverfull() {
 // cap into the cap bucket (probability 1).  Called after shift increases.
 func (d *DecodableBackoff) mergeCapped() {
 	capBase := d.eCap - d.shift
-	var over []*bucket
+	over := d.overScratch[:0]
 	for _, b := range d.buckets {
 		if b.base > capBase && len(b.ids) > 0 {
 			over = append(over, b)
 		}
 	}
+	d.overScratch = over
 	if len(over) == 0 {
 		return
 	}
 	dst := d.getBucket(capBase)
 	for _, b := range over {
 		for _, id := range b.ids {
-			d.loc[id] = location{where: inBucket, base: dst.base, idx: len(dst.ids)}
+			d.loc.Put(int64(id), location{where: inBucket, base: dst.base, idx: len(dst.ids)})
 			dst.ids = append(dst.ids, id)
 		}
 		b.ids = b.ids[:0]
+	}
+	for i := range over {
+		over[i] = nil
 	}
 	d.compactBuckets()
 }
@@ -529,7 +589,7 @@ func (d *DecodableBackoff) mergeCapped() {
 func (d *DecodableBackoff) returnJoiners(from int) {
 	for _, j := range d.joiners[from:] {
 		b := d.getBucket(j.base)
-		d.loc[j.id] = location{where: inBucket, base: b.base, idx: len(b.ids)}
+		d.loc.Put(int64(j.id), location{where: inBucket, base: b.base, idx: len(b.ids)})
 		b.ids = append(b.ids, j.id)
 		d.active++
 	}
@@ -543,7 +603,7 @@ func (d *DecodableBackoff) removeJoiner(idx int) {
 	d.joiners[idx] = moved
 	d.joiners = d.joiners[:last]
 	if idx != last {
-		d.loc[moved.id] = location{where: inJoiners, idx: idx}
+		d.loc.Put(int64(moved.id), location{where: inJoiners, idx: idx})
 	}
 }
 
@@ -554,7 +614,7 @@ func (d *DecodableBackoff) removeInactive(idx int) {
 	d.inactive[idx] = moved
 	d.inactive = d.inactive[:last]
 	if idx != last {
-		d.loc[moved] = location{where: inInactive, idx: idx}
+		d.loc.Put(int64(moved), location{where: inInactive, idx: idx})
 	}
 }
 

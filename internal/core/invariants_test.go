@@ -27,7 +27,7 @@ func checkInvariants(t *testing.T, d *DecodableBackoff) {
 			t.Fatalf("buckets out of order: %d after %d", b.base, prevBase)
 		}
 		prevBase = b.base
-		if d.byBase[b.base] != b {
+		if i, ok := d.bucketAt(b.base); !ok || d.buckets[i] != b {
 			t.Fatalf("bucket index desynced at base %d", b.base)
 		}
 		if e := b.base + d.shift; e > d.eCap {
@@ -38,7 +38,7 @@ func checkInvariants(t *testing.T, d *DecodableBackoff) {
 			t.Fatalf("bucket probability %v out of (0,1]", p)
 		}
 		for i, id := range b.ids {
-			l, ok := d.loc[id]
+			l, ok := d.loc.Get(int64(id))
 			if !ok || l.where != inBucket || l.base != b.base || l.idx != i {
 				t.Fatalf("packet %d bucket location desynced: %+v", id, l)
 			}
@@ -46,21 +46,21 @@ func checkInvariants(t *testing.T, d *DecodableBackoff) {
 		}
 	}
 	for i, j := range d.joiners {
-		l, ok := d.loc[j.id]
+		l, ok := d.loc.Get(int64(j.id))
 		if !ok || l.where != inJoiners || l.idx != i {
 			t.Fatalf("joiner %d location desynced: %+v", j.id, l)
 		}
 		total++
 	}
 	for i, id := range d.inactive {
-		l, ok := d.loc[id]
+		l, ok := d.loc.Get(int64(id))
 		if !ok || l.where != inInactive || l.idx != i {
 			t.Fatalf("inactive %d location desynced: %+v", id, l)
 		}
 		total++
 	}
-	if total != len(d.loc) {
-		t.Fatalf("location map has %d entries, population has %d", len(d.loc), total)
+	if total != d.loc.Len() {
+		t.Fatalf("location index has %d entries, population has %d", d.loc.Len(), total)
 	}
 	if d.Pending() != total {
 		t.Fatalf("Pending() = %d, population = %d", d.Pending(), total)

@@ -43,10 +43,17 @@ func E8Decodability(scale Scale, seed uint64) *Output {
 			if m.Invertible() {
 				inv256++
 			}
+			// Fill whole words through the unchecked row accessor (one
+			// RNG draw per 64 bits instead of per bit), masking the tail
+			// so bits beyond column j stay zero as the kernels require.
 			bm := linalg.NewBitMatrix(j, j)
 			for a := 0; a < j; a++ {
-				for b := 0; b < j; b++ {
-					bm.Set(a, b, r.Uint64()&1 == 1)
+				row := bm.RowWords(a)
+				for w := range row {
+					row[w] = r.Uint64()
+				}
+				if tail := uint(j % 64); tail != 0 {
+					row[len(row)-1] &= 1<<tail - 1
 				}
 			}
 			if bm.Invertible() {

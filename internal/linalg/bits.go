@@ -1,0 +1,98 @@
+package linalg
+
+import "math/bits"
+
+// Bits is a little-endian uint64 bitset: bit i lives in word i/64 at
+// position i%64.  It backs the channel detector's decode-window
+// occupancy tracking, where the per-slot hot path needs word-parallel
+// scans (find the next non-empty slot, count survivors) instead of
+// per-entry scalar walks.
+//
+// Methods never bounds-check against a logical length; the caller
+// grows the word slice with EnsureBits before setting and keeps bits
+// beyond its logical length zero.
+type Bits []uint64
+
+// EnsureBits grows the word slice so bit n-1 is addressable, zeroing
+// any newly exposed words.
+func (b *Bits) EnsureBits(n int) {
+	words := (n + 63) >> 6
+	for len(*b) < words {
+		*b = append(*b, 0)
+	}
+}
+
+// Set sets bit i.
+func (b Bits) Set(i int) { b[i>>6] |= 1 << uint(i&63) }
+
+// Clear clears bit i.
+func (b Bits) Clear(i int) { b[i>>6] &^= 1 << uint(i&63) }
+
+// Test reports bit i.
+func (b Bits) Test(i int) bool { return b[i>>6]>>(uint(i&63))&1 == 1 }
+
+// NextSet returns the smallest set bit index ≥ from, or -1 if none.
+// It skips zero words eight bytes at a time.
+func (b Bits) NextSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	w := from >> 6
+	if w >= len(b) {
+		return -1
+	}
+	if word := b[w] >> (uint(from & 63)); word != 0 {
+		return from + bits.TrailingZeros64(word)
+	}
+	for w++; w < len(b); w++ {
+		if b[w] != 0 {
+			return w<<6 + bits.TrailingZeros64(b[w])
+		}
+	}
+	return -1
+}
+
+// OnesCount returns the number of set bits.
+func (b Bits) OnesCount() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ShiftDown discards the lowest k bits, moving every remaining bit k
+// positions toward zero and filling the top with zeros.  It implements
+// the detector's window prune: dropping the k oldest slots renumbers
+// the survivors without touching them individually.
+func (b Bits) ShiftDown(k int) {
+	if k <= 0 {
+		return
+	}
+	words, rem := k>>6, uint(k&63)
+	n := len(b)
+	if words >= n {
+		for i := range b {
+			b[i] = 0
+		}
+		return
+	}
+	if rem == 0 {
+		copy(b, b[words:])
+	} else {
+		for i := 0; i < n-words-1; i++ {
+			b[i] = b[i+words]>>rem | b[i+words+1]<<(64-rem)
+		}
+		b[n-words-1] = b[n-1] >> rem
+	}
+	for i := n - words; i < n; i++ {
+		b[i] = 0
+	}
+}
+
+// Zero clears every word, keeping the storage.
+func (b Bits) Zero() {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -42,6 +42,29 @@ func (m *BitMatrix) row(i int) []uint64 {
 	return m.data[i*m.words : (i+1)*m.words]
 }
 
+// RowWords returns row i's bit-packed words, aliasing the matrix
+// storage.  It is the unchecked accessor for hot loops: only the row
+// index is validated (by the slice bounds), never per-bit coordinates,
+// so kernels can read and write whole words without Get/Set's
+// per-call bounds check.  Callers that write must keep bits at or
+// beyond Cols zero — every word-parallel kernel assumes it.
+func (m *BitMatrix) RowWords(i int) []uint64 { return m.row(i) }
+
+// XorRows adds (XORs) row src into row dst, whole words at a time —
+// the bulk row-update kernel behind elimination and decode-window
+// maintenance.
+func (m *BitMatrix) XorRows(dst, src int) { m.xorRow(dst, src) }
+
+// RowOnes returns the number of set bits in row i (a population-count
+// sweep over the row's words).
+func (m *BitMatrix) RowOnes(i int) int {
+	n := 0
+	for _, w := range m.row(i) {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
 // Get returns the bit at (i, j).
 func (m *BitMatrix) Get(i, j int) bool {
 	m.check(i, j)
@@ -81,6 +104,17 @@ func (m *BitMatrix) xorRow(dst, src int) {
 	}
 }
 
+// xorRowFrom adds row src into row dst starting at word `from` — the
+// masked rank update: during forward elimination every word before the
+// pivot word is already zero in both rows, so the XOR sweep skips them.
+func (m *BitMatrix) xorRowFrom(dst, src, from int) {
+	d := m.data[dst*m.words+from : (dst+1)*m.words]
+	s := m.data[src*m.words+from : (src+1)*m.words]
+	for k := range d {
+		d[k] ^= s[k]
+	}
+}
+
 // swapRows exchanges rows i and j.
 func (m *BitMatrix) swapRows(i, j int) {
 	if i == j {
@@ -94,13 +128,21 @@ func (m *BitMatrix) swapRows(i, j int) {
 
 // Rank returns the rank of the matrix over GF(2).  The receiver is not
 // modified.
+//
+// Implementation: forward elimination with word-parallel kernels.  The
+// pivot search tests one word per candidate row instead of calling Get
+// (whose per-bit bounds check dominates tight loops), and each update
+// is a masked row-XOR starting at the pivot word — once elimination
+// has passed a column, every row below the frontier is zero in all
+// earlier words, so the sweep skips them.
 func (m *BitMatrix) Rank() int {
 	w := m.Clone()
 	rank := 0
 	for col := 0; col < w.cols && rank < w.rows; col++ {
+		wi, mask := col>>6, uint64(1)<<(uint(col)&63)
 		pivot := -1
 		for i := rank; i < w.rows; i++ {
-			if w.Get(i, col) {
+			if w.data[i*w.words+wi]&mask != 0 {
 				pivot = i
 				break
 			}
@@ -109,9 +151,9 @@ func (m *BitMatrix) Rank() int {
 			continue
 		}
 		w.swapRows(rank, pivot)
-		for i := 0; i < w.rows; i++ {
-			if i != rank && w.Get(i, col) {
-				w.xorRow(i, rank)
+		for i := rank + 1; i < w.rows; i++ {
+			if w.data[i*w.words+wi]&mask != 0 {
+				w.xorRowFrom(i, rank, wi)
 			}
 		}
 		rank++
@@ -134,9 +176,10 @@ func (m *BitMatrix) Inverse() (*BitMatrix, error) {
 	w := m.Clone()
 	inv := IdentityBit(n)
 	for col := 0; col < n; col++ {
+		wi, mask := col>>6, uint64(1)<<(uint(col)&63)
 		pivot := -1
 		for i := col; i < n; i++ {
-			if w.Get(i, col) {
+			if w.data[i*w.words+wi]&mask != 0 {
 				pivot = i
 				break
 			}
@@ -147,7 +190,7 @@ func (m *BitMatrix) Inverse() (*BitMatrix, error) {
 		w.swapRows(col, pivot)
 		inv.swapRows(col, pivot)
 		for i := 0; i < n; i++ {
-			if i != col && w.Get(i, col) {
+			if i != col && w.data[i*w.words+wi]&mask != 0 {
 				w.xorRow(i, col)
 				inv.xorRow(i, col)
 			}

@@ -1,0 +1,174 @@
+package linalg
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// referenceRank is the original per-bit full-reduction elimination,
+// kept as the executable specification for the word-parallel Rank.
+func referenceRank(m *BitMatrix) int {
+	w := m.Clone()
+	rank := 0
+	for col := 0; col < w.cols && rank < w.rows; col++ {
+		pivot := -1
+		for i := rank; i < w.rows; i++ {
+			if w.Get(i, col) {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		w.swapRows(rank, pivot)
+		for i := 0; i < w.rows; i++ {
+			if i != rank && w.Get(i, col) {
+				w.xorRow(i, rank)
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+func TestRankMatchesReference(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 200; trial++ {
+		rows, cols := 1+r.Intn(90), 1+r.Intn(90)
+		m := randomBitMatrix(r, rows, cols)
+		if got, want := m.Rank(), referenceRank(m); got != want {
+			t.Fatalf("Rank = %d, reference = %d (%dx%d)", got, want, rows, cols)
+		}
+	}
+	// Sparse matrices exercise the skipped-column path.
+	for trial := 0; trial < 50; trial++ {
+		rows, cols := 2+r.Intn(60), 2+r.Intn(60)
+		m := NewBitMatrix(rows, cols)
+		for k := 0; k < rows; k++ {
+			m.Set(r.Intn(rows), r.Intn(cols), true)
+		}
+		if got, want := m.Rank(), referenceRank(m); got != want {
+			t.Fatalf("sparse Rank = %d, reference = %d (%dx%d)", got, want, rows, cols)
+		}
+	}
+}
+
+func TestRowWordsAliasAndXorRows(t *testing.T) {
+	m := NewBitMatrix(3, 70)
+	m.Set(0, 0, true)
+	m.Set(0, 69, true)
+	m.Set(1, 69, true)
+	row := m.RowWords(0)
+	if len(row) != 2 || row[0] != 1 || row[1] != 1<<5 {
+		t.Fatalf("RowWords(0) = %x", row)
+	}
+	row[0] |= 2 // write through the alias
+	if !m.Get(0, 1) {
+		t.Fatal("RowWords does not alias matrix storage")
+	}
+	m.XorRows(1, 0)
+	if !m.Get(1, 0) || !m.Get(1, 1) || m.Get(1, 69) {
+		t.Fatalf("XorRows wrong: row1 = %x", m.RowWords(1))
+	}
+	if m.RowOnes(1) != 2 {
+		t.Fatalf("RowOnes(1) = %d, want 2", m.RowOnes(1))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("RowWords out of range did not panic")
+			}
+		}()
+		m.RowWords(3)
+	}()
+}
+
+// TestBitsAgainstModel drives Bits and a []bool model with the same
+// operation stream.
+func TestBitsAgainstModel(t *testing.T) {
+	r := rng.New(37)
+	const n = 300
+	var b Bits
+	b.EnsureBits(n)
+	model := make([]bool, n)
+	check := func(step int) {
+		ones := 0
+		for _, v := range model {
+			if v {
+				ones++
+			}
+		}
+		if got := b.OnesCount(); got != ones {
+			t.Fatalf("step %d: OnesCount = %d, model %d", step, got, ones)
+		}
+		next := func(from int) int {
+			for i := from; i < n; i++ {
+				if model[i] {
+					return i
+				}
+			}
+			return -1
+		}
+		for _, from := range []int{0, 1, 63, 64, 65, r.Intn(n), n - 1, n + 10} {
+			want := -1
+			if from < n {
+				want = next(from)
+			}
+			if got := b.NextSet(from); got != want {
+				t.Fatalf("step %d: NextSet(%d) = %d, model %d", step, from, got, want)
+			}
+		}
+	}
+	for step := 0; step < 2000; step++ {
+		i := r.Intn(n)
+		switch r.Intn(4) {
+		case 0, 1:
+			b.Set(i)
+			model[i] = true
+		case 2:
+			b.Clear(i)
+			model[i] = false
+		case 3:
+			k := r.Intn(80)
+			b.ShiftDown(k)
+			copy(model, model[min(k, n):])
+			for j := n - min(k, n); j < n; j++ {
+				model[j] = false
+			}
+		}
+		if got := b.Test(i); got != model[i] {
+			t.Fatalf("step %d: Test(%d) = %v, model %v", step, i, got, model[i])
+		}
+		if step%97 == 0 {
+			check(step)
+		}
+	}
+	check(-1)
+}
+
+func TestBitsShiftDownWholeWords(t *testing.T) {
+	var b Bits
+	b.EnsureBits(256)
+	for _, i := range []int{0, 63, 64, 128, 200, 255} {
+		b.Set(i)
+	}
+	b.ShiftDown(64)
+	for _, c := range []struct {
+		i    int
+		want bool
+	}{{0, true}, {64, true}, {136, true}, {191, true}, {255, false}} {
+		if b.Test(c.i) != c.want {
+			t.Fatalf("after ShiftDown(64): Test(%d) = %v, want %v", c.i, b.Test(c.i), c.want)
+		}
+	}
+	b.ShiftDown(1000)
+	if b.OnesCount() != 0 {
+		t.Fatal("ShiftDown past length did not clear")
+	}
+	b.Zero()
+	if b.OnesCount() != 0 {
+		t.Fatal("Zero left bits set")
+	}
+}

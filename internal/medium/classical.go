@@ -84,9 +84,16 @@ type Classical struct {
 
 	ev  channel.Event
 	pkt [1]channel.PacketID
+
+	lastBad bool
+	sdup    channel.ShardedDup
 }
 
-var _ Medium = (*Classical)(nil)
+var (
+	_ Medium   = (*Classical)(nil)
+	_ Sharded  = (*Classical)(nil)
+	_ Repeater = (*Classical)(nil)
+)
 
 // NewClassical returns a classical collision channel with the given
 // collision-detection feedback mode.
@@ -110,23 +117,72 @@ func (c *Classical) Kappa() int { return 1 }
 func (c *Classical) Step(now int64, txs []channel.PacketID) (channel.SlotClass, *channel.Event) {
 	switch len(txs) {
 	case 0:
+		c.lastBad = false
 		c.stats.SilentSlots++
 		c.setLast(now, channel.Silent, nil)
 		return channel.Silent, nil
 	case 1:
-		c.stats.GoodSlots++
-		c.stats.Events++
-		c.stats.Delivered++
-		c.pkt[0] = txs[0]
-		c.ev = channel.Event{Slot: now, WindowStart: now, Packets: c.pkt[:1]}
-		c.setLast(now, channel.Good, &c.ev)
-		return channel.Good, &c.ev
+		c.lastBad = false
+		return c.success(now, txs[0])
 	default:
 		c.dup.check(txs)
-		c.stats.BadSlots++
-		c.setLast(now, channel.Bad, nil)
-		return channel.Bad, nil
+		return c.collide(now)
 	}
+}
+
+// StepSharded implements Sharded: only the duplicate validation of
+// collided slots is O(transmitters), and it runs as per-shard partials.
+func (c *Classical) StepSharded(now int64, chunks [][]channel.PacketID, fan channel.FanOut) (channel.SlotClass, *channel.Event) {
+	total := 0
+	for _, ch := range chunks {
+		total += len(ch)
+	}
+	switch total {
+	case 0:
+		c.lastBad = false
+		c.stats.SilentSlots++
+		c.setLast(now, channel.Silent, nil)
+		return channel.Silent, nil
+	case 1:
+		c.lastBad = false
+		for _, ch := range chunks {
+			if len(ch) > 0 {
+				return c.success(now, ch[0])
+			}
+		}
+		panic("medium: unreachable")
+	default:
+		c.sdup.Check("medium", chunks, fan)
+		return c.collide(now)
+	}
+}
+
+// StepRepeat implements Repeater: a collided slot leaves no state
+// behind, so replaying one moves a counter and the feedback.
+func (c *Classical) StepRepeat(now int64) bool {
+	if !c.lastBad {
+		panic("medium: StepRepeat without a preceding bad slot")
+	}
+	c.stats.BadSlots++
+	c.setLast(now, channel.Bad, nil)
+	return true
+}
+
+func (c *Classical) success(now int64, id channel.PacketID) (channel.SlotClass, *channel.Event) {
+	c.stats.GoodSlots++
+	c.stats.Events++
+	c.stats.Delivered++
+	c.pkt[0] = id
+	c.ev = channel.Event{Slot: now, WindowStart: now, Packets: c.pkt[:1]}
+	c.setLast(now, channel.Good, &c.ev)
+	return channel.Good, &c.ev
+}
+
+func (c *Classical) collide(now int64) (channel.SlotClass, *channel.Event) {
+	c.lastBad = true
+	c.stats.BadSlots++
+	c.setLast(now, channel.Bad, nil)
+	return channel.Bad, nil
 }
 
 // setLast records the feedback for the just-stepped slot, applying the
@@ -165,4 +221,6 @@ func (c *Classical) Stats() channel.Stats { return c.stats }
 func (c *Classical) Reset() {
 	c.stats = channel.Stats{}
 	c.last = channel.Feedback{}
+	c.lastBad = false
+	c.sdup.Reset()
 }

@@ -12,7 +12,11 @@ type Coded struct {
 	last channel.Feedback
 }
 
-var _ Medium = (*Coded)(nil)
+var (
+	_ Medium   = (*Coded)(nil)
+	_ Sharded  = (*Coded)(nil)
+	_ Repeater = (*Coded)(nil)
+)
 
 // NewCoded returns the coded medium with decoding threshold kappa and
 // decoding-window length cap maxWindow (0 = unbounded), mirroring
@@ -35,6 +39,24 @@ func (c *Coded) Step(now int64, txs []channel.PacketID) (channel.SlotClass, *cha
 	class, ev := c.ch.Step(now, txs)
 	c.last = channel.Feedback{Slot: now, Silent: class == channel.Silent, Event: ev}
 	return class, ev
+}
+
+// StepSharded implements Sharded by delegating to the detector's
+// chunked entry point: large bad slots validate their transmitters as
+// per-shard partials, good slots flatten onto the serial path.
+func (c *Coded) StepSharded(now int64, chunks [][]channel.PacketID, fan channel.FanOut) (channel.SlotClass, *channel.Event) {
+	class, ev := c.ch.StepSharded(now, chunks, fan)
+	c.last = channel.Feedback{Slot: now, Silent: class == channel.Silent, Event: ev}
+	return class, ev
+}
+
+// StepRepeat implements Repeater.  The detector validated these
+// transmitters as Bad when the slot was first stepped, so the replay
+// always succeeds.
+func (c *Coded) StepRepeat(now int64) bool {
+	c.ch.StepRepeat(now)
+	c.last = channel.Feedback{Slot: now}
+	return true
 }
 
 // Feedback implements Medium.

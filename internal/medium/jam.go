@@ -44,12 +44,27 @@ type Jammed struct {
 	lastJammed bool
 	last       channel.Feedback
 
+	// repValid records that the inner medium itself classified the most
+	// recently delivered transmitter multiset as Bad.  StepRepeat's
+	// non-jammed path requires it: when the previous Bad verdict came
+	// from jamming energy, the inner medium never saw the transmitters,
+	// so an O(1) replay cannot be validated and the caller must fall
+	// back to a full Step.
+	repValid bool
+
+	sdup channel.ShardedDup
+	flat []channel.PacketID
+
 	// collisionOnJam: to a device with ternary collision detection,
 	// jamming energy is indistinguishable from a collision.
 	collisionOnJam bool
 }
 
-var _ Medium = (*Jammed)(nil)
+var (
+	_ Medium   = (*Jammed)(nil)
+	_ Sharded  = (*Jammed)(nil)
+	_ Repeater = (*Jammed)(nil)
+)
 
 // Jam wraps inner with the given package-jam jammer, seeding the
 // jammer's slot-keyed randomness from seed.  A nil jammer returns inner
@@ -94,13 +109,70 @@ func (m *Jammed) Step(now int64, txs []channel.PacketID) (channel.SlotClass, *ch
 		// duplicate-transmitter invariant here: a protocol bug must not
 		// hide behind the noise.
 		m.dup.check(txs)
-		m.jammed++
-		m.lastJammed = true
-		m.last = channel.Feedback{Slot: now, Collision: m.collisionOnJam}
-		return channel.Bad, nil
+		m.repValid = false
+		return m.jamSlot(now)
 	}
 	m.lastJammed = false
-	return m.inner.Step(now, txs)
+	class, ev := m.inner.Step(now, txs)
+	m.repValid = class == channel.Bad
+	return class, ev
+}
+
+// StepSharded implements Sharded.  Jammed slots still validate the
+// transmitters (as partials — the inner detector never sees them);
+// clear slots forward chunked when the inner medium is Sharded and
+// flatten otherwise.
+func (m *Jammed) StepSharded(now int64, chunks [][]channel.PacketID, fan channel.FanOut) (channel.SlotClass, *channel.Event) {
+	m.r.Seed(m.seed ^ uint64(now)*0x9e3779b97f4a7c15)
+	if m.jammer.Jams(now, &m.r) {
+		m.sdup.Check("medium", chunks, fan)
+		m.repValid = false
+		return m.jamSlot(now)
+	}
+	m.lastJammed = false
+	var class channel.SlotClass
+	var ev *channel.Event
+	if sm, ok := m.inner.(Sharded); ok {
+		class, ev = sm.StepSharded(now, chunks, fan)
+	} else {
+		m.flat = m.flat[:0]
+		for _, ch := range chunks {
+			m.flat = append(m.flat, ch...)
+		}
+		class, ev = m.inner.Step(now, m.flat)
+	}
+	m.repValid = class == channel.Bad
+	return class, ev
+}
+
+// StepRepeat implements Repeater.  A slot the jammer spoils replays in
+// O(1) regardless of the transmitters (keyed to the slot number, the
+// jam decision is reproduced exactly); a clear slot replays only when
+// the inner medium itself classified the unchanged multiset as Bad and
+// can replay it.  The jam decision for slot now is the same one a full
+// Step would make, so a false return costs only the fallback work.
+func (m *Jammed) StepRepeat(now int64) bool {
+	m.r.Seed(m.seed ^ uint64(now)*0x9e3779b97f4a7c15)
+	if m.jammer.Jams(now, &m.r) {
+		// Transmitters unchanged since their last validation, so the
+		// duplicate check is already covered; repValid keeps its meaning.
+		m.jamSlot(now)
+		return true
+	}
+	rep, ok := m.inner.(Repeater)
+	if !ok || !m.repValid || !rep.StepRepeat(now) {
+		return false
+	}
+	m.lastJammed = false
+	return true
+}
+
+// jamSlot applies the state updates of a spoiled slot.
+func (m *Jammed) jamSlot(now int64) (channel.SlotClass, *channel.Event) {
+	m.jammed++
+	m.lastJammed = true
+	m.last = channel.Feedback{Slot: now, Collision: m.collisionOnJam}
+	return channel.Bad, nil
 }
 
 // Feedback implements Medium.  The adversary hears the slot too — it is
@@ -140,5 +212,7 @@ func (m *Jammed) Reset() {
 	m.jammer.Reset()
 	m.jammed = 0
 	m.lastJammed = false
+	m.repValid = false
 	m.last = channel.Feedback{}
+	m.sdup.Reset()
 }

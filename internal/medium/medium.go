@@ -81,6 +81,34 @@ type Medium interface {
 	Reset()
 }
 
+// Sharded is an optional Medium capability: a medium that consumes the
+// staged engine's per-shard transmitter chunks directly, running its
+// O(transmitters) pre-reduce — duplicate validation and transmitter
+// counting — as data-parallel partials before the (tiny) serial event
+// check.  StepSharded must be observably identical to
+// Step(now, concatenation of chunks) at every FanOut, including which
+// duplicate a protocol bug panics on: partials record findings and a
+// serial merge visits shards in index order.
+type Sharded interface {
+	StepSharded(now int64, chunks [][]channel.PacketID, fan channel.FanOut) (channel.SlotClass, *channel.Event)
+}
+
+// Repeater is an optional Medium capability behind the engine's
+// event-driven fast-forward: StepRepeat replays the most recently
+// stepped slot's transmitter multiset at slot now in O(1).  The caller
+// must have observed that slot classify Bad and must guarantee the
+// transmitter multiset is unchanged — bad slots never change detector
+// state, so the replay moves counters and feedback only.
+//
+// StepRepeat returns false, leaving the medium's state untouched, when
+// the medium cannot guarantee an O(1) replay — e.g. a jam wrapper whose
+// previous Bad verdict came from jamming energy, so the inner medium
+// never classified these transmitters.  The caller then falls back to a
+// full Step with the same transmitters.
+type Repeater interface {
+	StepRepeat(now int64) bool
+}
+
 // Models lists the known channel-model descriptors in canonical order.
 // "classical" is shorthand for "classical:ternary", the strongest
 // feedback variant.  Note the information ordering documented on CD:

@@ -46,6 +46,27 @@ type Waker interface {
 	NextWake(now int64) int64
 }
 
+// Coaster is an optional interface behind the engine's event-driven
+// fast-forward through runs of identical bad slots (e.g. the tail of an
+// overfull Decodable Backoff epoch, where the same joiners broadcast
+// for up to κ slots straight).  CoastUntil returns the last slot
+// (inclusive, ≥ now) through which the protocol guarantees its
+// transmitter set is frozen: every slot in (now, CoastUntil(now)] would
+// see Transmitters return exactly the list just collected, with no RNG
+// consumption and no PrepareSlot work — and the guarantee must hold
+// even across arrivals injected in that range (arrivals must not alter
+// the current transmitter set, only future ones).
+//
+// The engine still runs every coasted slot's arrivals, feedback,
+// Observe, and per-slot accounting; it only skips re-collecting and
+// re-validating the unchanged transmitters, and only while those slots
+// keep classifying Bad.  CoastUntil is called after the slot's Observe,
+// so epoch state is current.  Returning now disables coasting for the
+// slot.
+type Coaster interface {
+	CoastUntil(now int64) int64
+}
+
 // NumShards is the fixed shard count of every Partitioned protocol in
 // this repository.  The count is deliberately a constant, independent of
 // how many worker goroutines the engine runs: the shard structure (which

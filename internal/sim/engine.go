@@ -2,6 +2,7 @@ package sim
 
 import (
 	"repro/internal/channel"
+	"repro/internal/medium"
 	"repro/internal/protocol"
 )
 
@@ -20,9 +21,9 @@ const fanOutGrain = 1 << 14
 // can only differ in how the per-slot station work is scheduled.  The
 // Partitioned contract makes both paths bit-identical.
 type stepper interface {
-	// collect appends the slot's transmitters to buf (stage: prepare +
-	// transmit-collect).
-	collect(now int64, buf []channel.PacketID) []channel.PacketID
+	// step runs the slot's station work and medium step: prepare +
+	// transmit-collect, then the medium consuming the transmitters.
+	step(now int64, m medium.Medium) (channel.SlotClass, *channel.Event)
 	// observe delivers the slot's feedback (stage: feedback fan-out +
 	// reduce).
 	observe(fb channel.Feedback)
@@ -33,6 +34,9 @@ type stepper interface {
 	// nextWake returns the protocol's next wake-up at or after now, or a
 	// negative value if it will never transmit again unprompted.
 	nextWake(now int64) int64
+	// coastUntil returns the protocol's transmitter-freeze guarantee
+	// (protocol.Coaster), or now when the protocol offers none.
+	coastUntil(now int64) int64
 }
 
 // newStepper selects the execution path: the staged engine when the
@@ -48,23 +52,30 @@ func newStepper(workers int, proto protocol.Protocol) stepper {
 				bufs:    make([][]channel.PacketID, p.Shards()),
 			}
 			st.pw, _ = proto.(protocol.PartitionedWaker)
+			st.co, _ = proto.(protocol.Coaster)
+			st.fanFn = st.fan
 			return st
 		}
 	}
 	st := &serialStepper{proto: proto}
 	st.waker, _ = proto.(protocol.Waker)
+	st.co, _ = proto.(protocol.Coaster)
 	return st
 }
 
 // serialStepper is the legacy reference path: the monolithic
-// Transmitters/Observe cycle, single-threaded.
+// Transmitters/Observe cycle, single-threaded, with the medium consuming
+// one flat transmitter list.
 type serialStepper struct {
 	proto protocol.Protocol
-	waker protocol.Waker // nil when the protocol has none
+	waker protocol.Waker   // nil when the protocol has none
+	co    protocol.Coaster // nil when the protocol has none
+	txBuf []channel.PacketID
 }
 
-func (s *serialStepper) collect(now int64, buf []channel.PacketID) []channel.PacketID {
-	return s.proto.Transmitters(now, buf)
+func (s *serialStepper) step(now int64, m medium.Medium) (channel.SlotClass, *channel.Event) {
+	s.txBuf = s.proto.Transmitters(now, s.txBuf[:0])
+	return m.Step(now, s.txBuf)
 }
 
 func (s *serialStepper) observe(fb channel.Feedback) { s.proto.Observe(fb) }
@@ -72,43 +83,86 @@ func (s *serialStepper) pending() int                { return s.proto.Pending() 
 func (s *serialStepper) hasWaker() bool              { return s.waker != nil }
 func (s *serialStepper) nextWake(now int64) int64    { return s.waker.NextWake(now) }
 
+func (s *serialStepper) coastUntil(now int64) int64 {
+	if s.co == nil {
+		return now
+	}
+	return s.co.CoastUntil(now)
+}
+
 // stagedStepper runs the explicit shard/step/reduce cycle:
 //
-//	PrepareSlot → ShardTransmitters fan-out → (medium Step, in the
-//	shared loop) → ShardObserve fan-out → ReduceSlot → per-shard
-//	pending reduce
+//	PrepareSlot → ShardTransmitters fan-out → medium step (pre-reduced
+//	over the shard chunks when the medium is Sharded) → ShardObserve
+//	fan-out → ReduceSlot → per-shard pending reduce
 //
 // with up to `workers` goroutines sweeping the fixed shard set when the
 // slot is busy enough to pay for the synchronization.  Because the
-// shard structure never depends on workers, and the Partitioned
-// contract pins the RNG stream and transmitter order to the serial
-// cycle, results are bit-identical at any worker count.
+// shard structure never depends on workers, and the Partitioned and
+// medium.Sharded contracts pin the RNG stream, transmitter order, and
+// slot outcome to the serial cycle, results are bit-identical at any
+// worker count.
 type stagedStepper struct {
 	p       protocol.Partitioned
 	pw      protocol.PartitionedWaker // nil when the protocol has none
+	co      protocol.Coaster          // nil when the protocol has none
 	shards  int
 	workers int
 	bufs    [][]channel.PacketID // per-shard transmit buffers, reused across slots
+	flat    []channel.PacketID   // flatten buffer for non-Sharded media
 	lastTx  int                  // previous slot's transmitter count (fan-out grain)
+	fanFn   channel.FanOut       // bound once; handed to Sharded media
 }
 
-func (s *stagedStepper) collect(now int64, buf []channel.PacketID) []channel.PacketID {
+func (s *stagedStepper) step(now int64, m medium.Medium) (channel.SlotClass, *channel.Event) {
 	s.p.PrepareSlot(now)
+	if s.bufs[0] == nil {
+		// First stepped slot: right-size the shard buffers from the
+		// backlog already injected, so batch workloads pay one allocation
+		// per shard instead of a doubling ladder as slots fill up.
+		hint := s.p.Pending()/s.shards + 4
+		for sh := range s.bufs {
+			s.bufs[sh] = make([]channel.PacketID, 0, hint)
+		}
+	}
 	if s.workers > 1 && s.lastTx >= fanOutGrain {
 		ForEach(s.shards, s.workers, func(sh int) {
 			s.bufs[sh] = s.p.ShardTransmitters(now, sh, s.bufs[sh][:0])
 		})
-		for sh := 0; sh < s.shards; sh++ {
-			buf = append(buf, s.bufs[sh]...)
-		}
 	} else {
 		// Inline sweep, same shard order: identical concatenation.
 		for sh := 0; sh < s.shards; sh++ {
-			buf = s.p.ShardTransmitters(now, sh, buf)
+			s.bufs[sh] = s.p.ShardTransmitters(now, sh, s.bufs[sh][:0])
 		}
 	}
-	s.lastTx = len(buf)
-	return buf
+	total := 0
+	for sh := 0; sh < s.shards; sh++ {
+		total += len(s.bufs[sh])
+	}
+	s.lastTx = total
+	// A Sharded medium consumes the chunks directly, running its
+	// O(transmitters) pre-reduce over them; others get the flat list.
+	if sm, ok := m.(medium.Sharded); ok {
+		return sm.StepSharded(now, s.bufs, s.fanFn)
+	}
+	s.flat = s.flat[:0]
+	for sh := 0; sh < s.shards; sh++ {
+		s.flat = append(s.flat, s.bufs[sh]...)
+	}
+	return m.Step(now, s.flat)
+}
+
+// fan is the channel.FanOut handed to Sharded media: it applies the
+// same grain rule as the shard stages, so small slots run inline and
+// large ones use the worker pool.  Results never depend on the choice.
+func (s *stagedStepper) fan(n int, f func(int)) {
+	if s.workers > 1 && s.lastTx >= fanOutGrain {
+		ForEach(n, s.workers, f)
+		return
+	}
+	for i := 0; i < n; i++ {
+		f(i)
+	}
 }
 
 func (s *stagedStepper) observe(fb channel.Feedback) {
@@ -147,4 +201,11 @@ func (s *stagedStepper) nextWake(now int64) int64 {
 		}
 	}
 	return wake
+}
+
+func (s *stagedStepper) coastUntil(now int64) int64 {
+	if s.co == nil {
+		return now
+	}
+	return s.co.CoastUntil(now)
 }

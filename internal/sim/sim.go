@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"repro/internal/adversary"
+	"repro/internal/arena"
 	"repro/internal/arrival"
 	"repro/internal/channel"
 	"repro/internal/jam"
@@ -212,31 +213,31 @@ const latSeedSalt = 0x4c4154 // "LAT"
 // are freed on delivery, so the retained bookkeeping is proportional to
 // the instantaneous backlog (peak records the high-water mark) — never
 // to total arrivals — which is what lets batch runs scale to millions
-// of packets in bounded memory.
+// of packets in bounded memory.  Packet IDs are issued sequentially, so
+// the live IDs form a dense sliding band: the paged arena keeps lookups
+// off the map runtime and recycles the pages of departed bands, which
+// preserves the backlog-proportional memory bound.
 type inflight struct {
-	at   map[channel.PacketID]int64
+	at   arena.Index[int64]
 	peak int
 }
 
-func newInflight() *inflight {
-	return &inflight{at: make(map[channel.PacketID]int64, 64)}
-}
+func newInflight() *inflight { return &inflight{} }
 
 // add records a packet injected at the given slot.
 func (f *inflight) add(id channel.PacketID, slot int64) {
-	f.at[id] = slot
-	if len(f.at) > f.peak {
-		f.peak = len(f.at)
+	f.at.Put(int64(id), slot)
+	if n := f.at.Len(); n > f.peak {
+		f.peak = n
 	}
 }
 
 // take returns a packet's inject slot and frees its entry.
 func (f *inflight) take(id channel.PacketID) int64 {
-	slot, ok := f.at[id]
+	slot, ok := f.at.Delete(int64(id))
 	if !ok {
 		panic(fmt.Sprintf("sim: delivery of unknown packet %d", id))
 	}
-	delete(f.at, id)
 	return slot
 }
 
@@ -322,10 +323,19 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 	st := newStepper(cfg.Workers, proto)
 	observer, hasObserver := arr.(arrival.Observer)
 
+	// Event-driven fast-forward through runs of identical bad slots:
+	// when a slot classifies Bad and the protocol guarantees its
+	// transmitter set frozen (protocol.Coaster), subsequent slots up to
+	// coastEnd replay the bad slot in O(1) via medium.Repeater instead of
+	// re-collecting and re-validating thousands of transmitters.  Every
+	// coasted slot still runs arrivals, feedback, Observe, and per-slot
+	// accounting, so results — including RNG streams — are unchanged.
+	rep, _ := m.(medium.Repeater)
+	coastEnd := int64(-1)
+
 	var nextID channel.PacketID
 	fl := newInflight() // inject time per in-flight packet, for latency
 	idBuf := make([]channel.PacketID, 0, 64)
-	txBuf := make([]channel.PacketID, 0, 64)
 	var fb medium.Feedback // reused across slots; the medium fills it
 
 	for now := int64(0); ; {
@@ -352,10 +362,16 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 				}
 			}
 		}
-		// One channel slot: prepare + transmit-collect, the single-threaded
-		// medium step, then feedback fan-out + reduce.
-		txBuf = st.collect(now, txBuf[:0])
-		_, ev := m.Step(now, txBuf)
+		// One channel slot: prepare + transmit-collect and the medium step
+		// (or an O(1) replay while coasting through repeated bad slots),
+		// then feedback fan-out + reduce.
+		var class channel.SlotClass
+		var ev *channel.Event
+		if rep != nil && now <= coastEnd && rep.StepRepeat(now) {
+			class, ev = channel.Bad, nil
+		} else {
+			class, ev = st.step(now, m)
+		}
 		m.Feedback(&fb)
 		st.observe(fb)
 		if hasObserver {
@@ -378,6 +394,15 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 		}
 		res.BacklogSeries.Add(now, float64(backlog))
 
+		// Arm (or re-arm) the coast.  Checked after the slot's observe so
+		// the protocol's epoch state is current; any non-Bad slot kills the
+		// coast, because only bad slots leave detector state untouched.
+		if class == channel.Bad && rep != nil {
+			coastEnd = st.coastUntil(now)
+		} else {
+			coastEnd = now
+		}
+
 		// Advance, fast-forwarding when provably nothing happens.
 		next := now + 1
 		if backlog == 0 {
@@ -391,7 +416,7 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 				return finish(res, m, proto, fl)
 			}
 			next = na
-		} else if st.hasWaker() {
+		} else if coastEnd <= now && st.hasWaker() {
 			nw := st.nextWake(now)
 			if nw > now+1 {
 				next = nw

@@ -196,11 +196,16 @@ func NewSeries(cap int) *Series {
 
 // Add offers the observation v at time t.  Points are recorded every
 // stride steps; when the buffer fills, every other point is dropped and
-// the stride doubles.
+// the stride doubles.  The declined-sample fast path is small enough to
+// inline, so per-slot callers pay one compare per skipped observation.
 func (s *Series) Add(t int64, v float64) {
 	if t < s.next {
 		return
 	}
+	s.record(t, v)
+}
+
+func (s *Series) record(t int64, v float64) {
 	s.T = append(s.T, t)
 	s.V = append(s.V, v)
 	if len(s.T) >= s.cap {
