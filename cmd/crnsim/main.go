@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	crnsim [-model coded|classical[:cd]] [-protocol dba|beb|aloha|genie|mw] [-kappa K] [-arrival kind] ...
+//	crnsim [-model coded|classical[:cd]|capture] [-protocol dba|beb|aloha|genie|mw|robust|unbounded] [-kappa K] [-arrival kind] ...
 //
 // Examples:
 //
@@ -15,6 +15,8 @@
 //	crnsim -model classical:none -protocol beb -arrival batch -n 2000
 //	crnsim -model classical -protocol mw -arrival bernoulli -rate 0.2
 //	crnsim -protocol dba -arrival bernoulli -rate 0.5 -adversary reactive:8/64
+//	crnsim -model classical:none -protocol robust -arrival batch -n 2000
+//	crnsim -model capture -kappa 8 -protocol unbounded -arrival batch -n 2000
 package main
 
 import (
@@ -28,9 +30,9 @@ import (
 )
 
 func main() {
-	model := flag.String("model", "coded", "channel model: coded, classical, classical:none, classical:binary, classical:ternary")
-	protoName := flag.String("protocol", "dba", "protocol: dba, beb, aloha, genie, mw")
-	kappa := flag.Int("kappa", 64, "decoding threshold κ (coded model; dba needs ≥ 6)")
+	model := flag.String("model", "coded", "channel model: coded, classical, classical:none, classical:binary, classical:ternary, capture")
+	protoName := flag.String("protocol", "dba", "protocol: dba, beb, aloha, genie, mw, robust, unbounded")
+	kappa := flag.Int("kappa", 64, "decoding threshold κ (coded and capture models; dba needs ≥ 6)")
 	arrivalName := flag.String("arrival", "batch", "arrival process: batch, bernoulli, poisson, even, burst")
 	n := flag.Int("n", 10000, "batch size (arrival=batch)")
 	rate := flag.Float64("rate", 0.5, "arrival rate (bernoulli/poisson/even) or window fill fraction (burst)")
@@ -73,6 +75,10 @@ func main() {
 		proto = crn.NewGenieAloha(*seed, 1)
 	case "mw":
 		proto = crn.NewMultiplicativeWeights(*seed)
+	case "robust":
+		proto = crn.NewRobustNoCD(*seed)
+	case "unbounded":
+		proto = crn.NewUnboundedNoCD(*seed)
 	default:
 		fmt.Fprintf(os.Stderr, "crnsim: unknown protocol %q\n", *protoName)
 		os.Exit(2)

@@ -24,6 +24,7 @@
 //	crnsweep                                    # default demo grid
 //	crnsweep -protocols dba,beb -kappas 8,64 -rates 0.3,0.6 -trials 4
 //	crnsweep -models coded,classical -protocols dba,beb,mw  # cross-model comparison
+//	crnsweep -models classical:none,capture -protocols unbounded,robust,beb -kappas 8  # no-CD and capture regimes
 //	crnsweep -spec sweep.json -json - -quiet    # spec file, JSON to stdout
 //	crnsweep -jammers none,random:0.2 -csv out/sweep.csv
 //	crnsweep -adversaries none,reactive:8/64,sigmarho:500/0.2  # adversary grid
@@ -68,8 +69,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	specPath := fs.String("spec", "", "JSON sweep spec file (grid flags are ignored if set)")
 	name := fs.String("name", "", "sweep name recorded in artifacts")
-	models := fs.String("models", "coded", "comma-separated channel models: coded, classical, classical:none, classical:binary, classical:ternary")
-	protocols := fs.String("protocols", "dba,genie", "comma-separated protocols: dba, beb, aloha, genie, mw")
+	models := fs.String("models", "coded", "comma-separated channel models: coded, classical, classical:none, classical:binary, classical:ternary, capture")
+	protocols := fs.String("protocols", "dba,genie", "comma-separated protocols: dba, beb, aloha, genie, mw, robust, unbounded")
 	arrivals := fs.String("arrivals", "bernoulli", "comma-separated arrivals: batch, bernoulli, poisson, even, burst")
 	kappas := fs.String("kappas", "8,64", "comma-separated decoding thresholds")
 	rates := fs.String("rates", "0.3,0.6", "comma-separated offered loads")

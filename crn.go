@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jam"
 	"repro/internal/medium"
+	"repro/internal/nocd"
 	"repro/internal/potential"
 	"repro/internal/protocol"
 	"repro/internal/rng"
@@ -120,6 +121,13 @@ func NewCodedMedium(kappa, maxWindow int) Medium { return medium.NewCoded(kappa,
 // transmits) with the given collision-detection feedback.
 func NewClassicalMedium(cd CollisionDetection) Medium { return medium.NewClassical(cd) }
 
+// NewCaptureMedium returns the high-SNR capture channel: a slot
+// delivers all its packets iff at most kappa devices transmit (additive
+// decoding in the spirit of bounded-contention coding), and one
+// transmission too many destroys the slot.  At κ = 1 it coincides with
+// the classical collision channel.
+func NewCaptureMedium(kappa int) Medium { return medium.NewCapture(kappa) }
+
 // NewJammedMedium composes a jammer over any medium: jammed slots are
 // spoiled before the inner medium sees them.  Jam decisions are
 // slot-keyed from seed, so they are independent of stepping history.
@@ -174,6 +182,30 @@ func NewGenieAloha(seed uint64, c float64) Protocol {
 func NewMultiplicativeWeights(seed uint64) Protocol {
 	return baseline.NewMultiplicativeWeights(rng.New(seed), baseline.DefaultMWConfig())
 }
+
+// NewRobustNoCD returns the sawtooth robust contention-resolution
+// scheme for channels without collision detection (Jiang–Zheng spirit):
+// every transmission-probability scale recurs in every phase, trading a
+// constant factor for tolerance of jamming and mis-estimated backlogs.
+func NewRobustNoCD(seed uint64) Protocol {
+	return nocd.NewRobust(rng.New(seed))
+}
+
+// NewUnboundedNoCD returns the unknown-n geometric back-on scheme for
+// channels without collision detection (Fernández Anta–Mosteiro–Muñoz
+// spirit): monotone rounds of geometrically growing length at halving
+// transmission probability.
+func NewUnboundedNoCD(seed uint64) Protocol {
+	return nocd.NewUnbounded(rng.New(seed))
+}
+
+// ProtocolNames lists the registered protocol kinds in canonical axis
+// order — the names sweeps and the CLIs select protocols by.
+var ProtocolNames = protocol.Names()
+
+// ProtocolRegistry exposes the protocol registry's entries (name,
+// one-line summary, medium pairing) in canonical axis order.
+func ProtocolRegistry() []protocol.Info { return protocol.Registered() }
 
 // NewBatch injects n packets at slot 0.
 func NewBatch(n int) Arrivals { return &arrival.Batch{At: 0, N: n} }

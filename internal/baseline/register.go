@@ -1,0 +1,36 @@
+package baseline
+
+import "repro/internal/protocol"
+
+// Registry entries for the classical baselines.  AlohaP defaulting
+// lives with the callers (sweep, CLIs); builders take Params verbatim.
+func init() {
+	protocol.Register(protocol.Info{
+		Name:    "beb",
+		Summary: "binary exponential backoff (Ethernet/802.11 style window doubling)",
+		Build: func(p protocol.Params) protocol.Protocol {
+			return NewExponentialBackoff(p.Rand)
+		},
+	})
+	protocol.Register(protocol.Info{
+		Name:    "aloha",
+		Summary: "slotted ALOHA with a static transmission probability",
+		Build: func(p protocol.Params) protocol.Protocol {
+			return NewSlottedAloha(p.Rand, p.AlohaP)
+		},
+	})
+	protocol.Register(protocol.Info{
+		Name:    "genie",
+		Summary: "genie-aided ALOHA transmitting at the backlog-optimal rate",
+		Build: func(p protocol.Params) protocol.Protocol {
+			return NewGenieAloha(p.Rand, 1)
+		},
+	})
+	protocol.Register(protocol.Info{
+		Name:    "mw",
+		Summary: "multiplicative-weights probability adaptation from channel feedback",
+		Build: func(p protocol.Params) protocol.Protocol {
+			return NewMultiplicativeWeights(p.Rand, DefaultMWConfig())
+		},
+	})
+}

@@ -3,7 +3,10 @@ package experiments
 import (
 	"os"
 	"regexp"
+	"strings"
 	"testing"
+
+	"repro/internal/protocol"
 )
 
 // TestDocDriftExperimentIndex pins DESIGN.md §5 to the code: the
@@ -30,6 +33,41 @@ func TestDocDriftExperimentIndex(t *testing.T) {
 		if docIDs[i] != r.ID {
 			t.Fatalf("DESIGN.md §5 row %d is %s, experiments.All() has %s — update the index table",
 				i+1, docIDs[i], r.ID)
+		}
+	}
+}
+
+// TestDocDriftProtocolRegistry pins DESIGN.md §10 to the code the same
+// way §5 is pinned to experiments.All(): the protocol table must list
+// exactly the names and one-line summaries the registry holds, in
+// canonical axis order.  (This package imports every implementing
+// package transitively, so the registry is complete here.)
+func TestDocDriftProtocolRegistry(t *testing.T) {
+	data, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatalf("reading DESIGN.md: %v", err)
+	}
+	_, section, found := strings.Cut(string(data), "\n## 10.")
+	if !found {
+		t.Fatal("DESIGN.md has no §10 — the protocol-registry section is gone")
+	}
+	if i := strings.Index(section, "\n## "); i >= 0 {
+		section = section[:i]
+	}
+	rows := regexp.MustCompile(`(?m)^\| ([a-z]+) \| (.+) \|$`).FindAllStringSubmatch(section, -1)
+	infos := protocol.Registered()
+	if len(rows) != len(infos) {
+		t.Fatalf("DESIGN.md §10 lists %d protocols, the registry has %d — update the table",
+			len(rows), len(infos))
+	}
+	for i, info := range infos {
+		if rows[i][1] != info.Name {
+			t.Fatalf("DESIGN.md §10 row %d is %q, the registry has %q — update the table",
+				i+1, rows[i][1], info.Name)
+		}
+		if rows[i][2] != info.Summary {
+			t.Fatalf("DESIGN.md §10 summary for %s is %q, the registry says %q — update the table",
+				info.Name, rows[i][2], info.Summary)
 		}
 	}
 }

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/arrival"
+	"repro/internal/asciiplot"
+	"repro/internal/core"
+	"repro/internal/medium"
+	"repro/internal/nocd"
+	"repro/internal/protocol"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// E16Regimes compares batch completion time across three channel/
+// protocol regimes at one matched decoding threshold κ: the paper's
+// coded channel under Decodable Backoff, the high-SNR capture channel
+// (κ-ary additive decoding, no cross-slot windows) under the unknown-n
+// no-CD scheme, and the bare no-collision-detection classical channel
+// under both no-CD schemes.  The expected qualitative ordering is
+//
+//	coded ≤ capture ≤ no-CD   (completion slots, same κ, same batch)
+//
+// — the feedback-rich coded channel lets dba pack slots toward
+// throughput 1; capture lends the blind schedule κ-ary decoding but no
+// feedback to aim it, so the schedule's overhead constant dominates;
+// and without any decoding gain the same schedule pays the full
+// classical contention price.  The per-n rows also show completion/n
+// scaling staying flat per regime (each is Θ(n) with its own constant).
+func E16Regimes(scale Scale, seed uint64) *Output {
+	out := &Output{
+		ID:    "E16",
+		Title: "channel regimes: coded vs capture vs no-CD completion",
+		Claim: "related-work regimes ordered by feedback/decoding power: coded ≤ capture ≤ no-CD batch completion at matching κ and arrival rate",
+	}
+	const kappa = 8 // matched threshold for the coded and capture regimes
+	ns := []int{500, 1000, 2000}
+	if scale == Full {
+		ns = []int{2000, 8000, 20000}
+	}
+	trials := scale.pick(3, 5)
+
+	regimes := []struct {
+		key   string
+		model string
+		build func(s uint64) protocol.Protocol
+	}{
+		{"coded/dba", "coded", func(s uint64) protocol.Protocol {
+			return core.New(kappa, rng.New(s^0xE16))
+		}},
+		{"capture/unbounded", "capture", func(s uint64) protocol.Protocol {
+			return nocd.NewUnbounded(rng.New(s ^ 0xE16))
+		}},
+		{"no-CD/unbounded", "classical:none", func(s uint64) protocol.Protocol {
+			return nocd.NewUnbounded(rng.New(s ^ 0xE16))
+		}},
+		{"no-CD/robust", "classical:none", func(s uint64) protocol.Protocol {
+			return nocd.NewRobust(rng.New(s ^ 0xE16))
+		}},
+	}
+
+	tbl := report.NewTable("Batch completion by channel regime (mean over trials, κ=8 where the model has one)",
+		"n", "regime", "completion", "completion/n", "throughput")
+	series := make(map[string]*asciiplot.Series, len(regimes))
+	for _, reg := range regimes {
+		series[reg.key] = &asciiplot.Series{Name: reg.key}
+	}
+	means := make(map[string]float64)
+	ordered := true
+	for _, n := range ns {
+		for _, reg := range regimes {
+			results := sim.RunTrials(trials, seed+uint64(n)*131, 0,
+				func(trial int, s uint64) *sim.Result {
+					var med medium.Medium
+					if reg.model != "coded" {
+						var err error
+						med, err = medium.New(reg.model, kappa, 0)
+						if err != nil {
+							panic(err)
+						}
+					}
+					return sim.Run(sim.Config{Kappa: kappa, Horizon: 1, Drain: true,
+						DrainLimit: 64*int64(n) + 1<<20, Seed: s, Medium: med},
+						reg.build(s), &arrival.Batch{At: 0, N: n})
+				})
+			completion := sim.Aggregate(results, func(r *sim.Result) float64 {
+				return float64(r.LastDelivery + 1)
+			})
+			thpt := sim.Aggregate(results, func(r *sim.Result) float64 {
+				return r.CompletionThroughput()
+			})
+			mean := completion.Mean()
+			means[reg.key] = mean
+			tbl.AddRow(n, reg.key, mean, mean/float64(n), thpt.Mean())
+			s := series[reg.key]
+			s.X = append(s.X, math.Log10(float64(n)))
+			s.Y = append(s.Y, mean/float64(n))
+		}
+		nOrdered := means["coded/dba"] <= means["capture/unbounded"] &&
+			means["capture/unbounded"] <= means["no-CD/unbounded"]
+		ordered = ordered && nOrdered
+		out.Notes = append(out.Notes, fmt.Sprintf(
+			"n=%d ordering coded ≤ capture ≤ no-CD: %s (%.0f ≤ %.0f ≤ %.0f slots)",
+			n, boolMark(nOrdered), means["coded/dba"], means["capture/unbounded"], means["no-CD/unbounded"]))
+	}
+	out.Tables = append(out.Tables, tbl)
+
+	plot := asciiplot.Plot{
+		Title:  "Normalized completion vs log10(n) by channel regime (κ=8)",
+		XLabel: "log10(n)", YLabel: "completion/n",
+		Width: 60, Height: 14,
+	}
+	for _, reg := range regimes {
+		plot.Add(*series[reg.key])
+	}
+	out.Plots = append(out.Plots, plot.Render())
+	out.Notes = append(out.Notes,
+		"overall ordering coded ≤ capture ≤ no-CD at matching κ and batch: "+boolMark(ordered),
+		"capture grants the blind no-CD schedule κ-ary decoding (same protocol, ~"+strconv.Itoa(kappa)+"× the classical delivery rate at its productive density) but no feedback to aim it, so dba's feedback-driven packing still wins",
+		"no-CD/robust pays a constant factor over no-CD/unbounded for revisiting every density each phase — the price of jamming robustness when nothing is jammed")
+	return out
+}

@@ -100,6 +100,7 @@ func All() []Runner {
 		{"E13", "jamming robustness (beyond-model failure injection)", E13Jamming},
 		{"E14", "decoding-window cap sensitivity (Section 2 practicalities)", E14WindowCap},
 		{"E15", "large-batch scaling (Theorem 16 asymptotics)", E15Scaling},
+		{"E16", "channel regimes: coded vs capture vs no-CD (related work)", E16Regimes},
 	}
 }
 

@@ -7,8 +7,8 @@ import (
 
 func TestAllRegistered(t *testing.T) {
 	runners := All()
-	if len(runners) != 15 {
-		t.Fatalf("expected 15 experiments, have %d", len(runners))
+	if len(runners) != 16 {
+		t.Fatalf("expected 16 experiments, have %d", len(runners))
 	}
 	seen := map[string]bool{}
 	for _, r := range runners {
@@ -193,6 +193,19 @@ func TestE13QuickCapacityCliff(t *testing.T) {
 	// Throughput at jam rate 0.5 must be visibly below the unjammed run.
 	if rows[0][4] <= rows[len(rows)-1][4] {
 		t.Fatalf("jamming did not reduce throughput: %v vs %v", rows[0], rows[len(rows)-1])
+	}
+}
+
+func TestE16QuickRegimeOrdering(t *testing.T) {
+	out := E16Regimes(Quick, 26)
+	var overall string
+	for _, note := range out.Notes {
+		if strings.HasPrefix(note, "overall ordering") {
+			overall = note
+		}
+	}
+	if !strings.HasSuffix(overall, "yes") {
+		t.Fatalf("regime ordering violated: %q\n%s", overall, out.String())
 	}
 }
 

@@ -1,0 +1,87 @@
+package medium
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/channel"
+)
+
+// CaptureReference is a deliberately naive capture channel, the oracle
+// FuzzCaptureAgainstReference cross-checks Capture against.  It holds
+// no reused storage and takes no shortcuts: every slot re-derives its
+// verdict from first principles with fresh allocations (map-based
+// duplicate detection, a freshly sorted event slice).  Keep it simple
+// rather than fast — its only job is to be obviously correct.
+type CaptureReference struct {
+	kappa int
+	stats channel.Stats
+	last  channel.Feedback
+}
+
+var _ Medium = (*CaptureReference)(nil)
+
+// NewCaptureReference returns the naive capture oracle.
+func NewCaptureReference(kappa int) *CaptureReference {
+	if kappa < 1 {
+		panic("medium: capture kappa must be at least 1")
+	}
+	return &CaptureReference{kappa: kappa}
+}
+
+// Name implements Medium.
+func (r *CaptureReference) Name() string { return "capture" }
+
+// Kappa implements Medium.
+func (r *CaptureReference) Kappa() int { return r.kappa }
+
+// Step implements Medium.
+func (r *CaptureReference) Step(now int64, txs []channel.PacketID) (channel.SlotClass, *channel.Event) {
+	seen := make(map[channel.PacketID]bool, len(txs))
+	for _, id := range txs {
+		if seen[id] {
+			panic(fmt.Sprintf("medium: packet %d transmitted twice in one slot", id))
+		}
+		seen[id] = true
+	}
+	switch {
+	case len(txs) == 0:
+		r.stats.SilentSlots++
+		r.last = channel.Feedback{Slot: now, Silent: true}
+		return channel.Silent, nil
+	case len(txs) <= r.kappa:
+		pkts := make([]channel.PacketID, len(txs))
+		copy(pkts, txs)
+		sort.Slice(pkts, func(i, j int) bool { return pkts[i] < pkts[j] })
+		ev := &channel.Event{Slot: now, WindowStart: now, Packets: pkts}
+		r.stats.GoodSlots++
+		r.stats.Events++
+		r.stats.Delivered += int64(len(pkts))
+		r.last = channel.Feedback{Slot: now, Event: ev}
+		return channel.Good, ev
+	default:
+		r.stats.BadSlots++
+		r.last = channel.Feedback{Slot: now}
+		return channel.Bad, nil
+	}
+}
+
+// Feedback implements Medium.
+func (r *CaptureReference) Feedback(fb *channel.Feedback) { *fb = r.last }
+
+// AddSilent implements Medium.
+func (r *CaptureReference) AddSilent(n int64) {
+	if n < 0 {
+		panic("medium: negative silent-slot count")
+	}
+	r.stats.SilentSlots += n
+}
+
+// Stats implements Medium.
+func (r *CaptureReference) Stats() channel.Stats { return r.stats }
+
+// Reset implements Medium.
+func (r *CaptureReference) Reset() {
+	r.stats = channel.Stats{}
+	r.last = channel.Feedback{}
+}

@@ -7,13 +7,16 @@
 // slot and forwards its feedback to the protocol, so every protocol can
 // be run on every channel model and compared in one artifact.
 //
-// Three implementations ship:
+// Four implementations ship:
 //
 //   - Coded — the κ-threshold decoding channel of the paper
 //     (internal/channel behind the interface);
 //   - Classical — the collision channel (κ = 1 semantics) with
 //     selectable collision-detection feedback: none, binary carrier
 //     sensing, or ternary collision detection;
+//   - Capture — the high-SNR capture channel: up to κ simultaneous
+//     transmissions are additively decodable in the slot itself
+//     (bounded-contention-coding spirit), one more destroys the slot;
 //   - Jam / JamAdversary — a wrapper composing a jamming adversary over
 //     any medium, spoiling slots before the inner medium sees them and
 //     forwarding per-slot feedback to adaptive jammers.
@@ -116,7 +119,7 @@ type Repeater interface {
 // classical:ternary are information-equivalent (sweeping both is
 // redundant); the axis that changes protocol-visible information is
 // none vs the other two.
-var Models = []string{"coded", "classical", "classical:none", "classical:binary", "classical:ternary"}
+var Models = []string{"coded", "classical", "classical:none", "classical:binary", "classical:ternary", "capture"}
 
 // dupCheck validates that a transmitter list names distinct packets
 // (one device cannot send two packets at once), mirroring the coded
@@ -178,6 +181,8 @@ func New(desc string, kappa, maxWindow int) (Medium, error) {
 		return NewClassical(CDBinary), nil
 	case "classical:none":
 		return NewClassical(CDNone), nil
+	case "capture":
+		return NewCapture(kappa), nil
 	}
-	return nil, fmt.Errorf("medium: unknown channel model %q (want coded, classical, classical:none, classical:binary, or classical:ternary)", desc)
+	return nil, fmt.Errorf("medium: unknown channel model %q (want coded, classical, classical:none, classical:binary, classical:ternary, or capture)", desc)
 }

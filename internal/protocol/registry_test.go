@@ -1,0 +1,118 @@
+package protocol_test
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/rng"
+
+	_ "repro/internal/baseline" // register beb, aloha, genie, mw
+	_ "repro/internal/core"     // register dba
+	_ "repro/internal/nocd"     // register robust, unbounded
+)
+
+// TestRegistryComplete pins the full canonical axis: with every
+// implementing package linked, the registry holds all seven protocols
+// in axis order — the order sweep expansion (and so cell seed
+// assignment) depends on.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"dba", "beb", "aloha", "genie", "mw", "robust", "unbounded"}
+	names := protocol.Names()
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+	infos := protocol.Registered()
+	if len(infos) != len(want) {
+		t.Fatalf("Registered() returned %d infos, want %d", len(infos), len(want))
+	}
+	for i, info := range infos {
+		if info.Name != want[i] {
+			t.Errorf("Registered()[%d].Name = %q, want %q", i, info.Name, want[i])
+		}
+		if info.Summary == "" {
+			t.Errorf("%s: empty summary", info.Name)
+		}
+		if info.CodedOnly && info.NoCDOnly {
+			t.Errorf("%s: both CodedOnly and NoCDOnly", info.Name)
+		}
+	}
+}
+
+// TestRegistryPairingFlags pins the media-pairing flags the sweep skip
+// rules consume.
+func TestRegistryPairingFlags(t *testing.T) {
+	for name, want := range map[string]struct{ coded, nocd bool }{
+		"dba":       {true, false},
+		"beb":       {false, false},
+		"aloha":     {false, false},
+		"genie":     {false, false},
+		"mw":        {false, false},
+		"robust":    {false, true},
+		"unbounded": {false, true},
+	} {
+		info, ok := protocol.Lookup(name)
+		if !ok {
+			t.Errorf("Lookup(%q) missed", name)
+			continue
+		}
+		if info.CodedOnly != want.coded || info.NoCDOnly != want.nocd {
+			t.Errorf("%s: CodedOnly=%v NoCDOnly=%v, want %v %v",
+				name, info.CodedOnly, info.NoCDOnly, want.coded, want.nocd)
+		}
+	}
+	if _, ok := protocol.Lookup("tdma"); ok {
+		t.Error("Lookup accepted an unknown name")
+	}
+}
+
+// TestRegistryBuild constructs one instance of every protocol through
+// the registry and checks each self-identifies and starts empty.
+func TestRegistryBuild(t *testing.T) {
+	for _, info := range protocol.Registered() {
+		p := protocol.Build(info.Name, protocol.Params{
+			Kappa: 8, Rand: rng.New(1), AlohaP: 0.01,
+		})
+		if p == nil {
+			t.Fatalf("Build(%q) returned nil", info.Name)
+		}
+		if p.Name() == "" {
+			t.Errorf("%s: instance has no name", info.Name)
+		}
+		if p.Pending() != 0 {
+			t.Errorf("%s: fresh instance has %d pending", info.Name, p.Pending())
+		}
+	}
+}
+
+// TestRegisterRejects covers the registration guards.  Accepted
+// registrations cannot be undone, so only the panicking paths are
+// exercised; "dba" doubles as the duplicate case.
+func TestRegisterRejects(t *testing.T) {
+	build := func(protocol.Params) protocol.Protocol { return nil }
+	for name, info := range map[string]protocol.Info{
+		"empty name":    {Build: build},
+		"nil build":     {Name: "beb"},
+		"non-canonical": {Name: "tdma", Build: build},
+		"duplicate":     {Name: "dba", Build: build},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Register did not panic", name)
+				}
+			}()
+			protocol.Register(info)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Build of an unknown protocol did not panic")
+		}
+	}()
+	protocol.Build("tdma", protocol.Params{})
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jam"
 	"repro/internal/medium"
+	"repro/internal/nocd"
 	"repro/internal/protocol"
 	"repro/internal/rng"
 )
@@ -112,6 +113,32 @@ var workerGrid = []struct {
 	{"genie/coded/serial-fallback", func(w int) *Result {
 		return Run(Config{Kappa: 4, Horizon: 4096, Drain: true, Seed: 19, Workers: w},
 			baseline.NewGenieAloha(rng.New(109), 1), arrival.NewEvenPaced(0.25))
+	}},
+	{"robust/classical-none/batch", func(w int) *Result {
+		return Run(Config{Horizon: 1, Drain: true, Seed: 20, Workers: w,
+			Medium: medium.NewClassical(medium.CDNone)},
+			nocd.NewRobust(rng.New(110)), &arrival.Batch{At: 0, N: 200})
+	}},
+	{"unbounded/classical-none/bernoulli", func(w int) *Result {
+		return Run(Config{Horizon: 6000, Drain: true, Seed: 21, Workers: w,
+			Medium: medium.NewClassical(medium.CDNone)},
+			nocd.NewUnbounded(rng.New(111)), &arrival.Bernoulli{Rate: 0.02})
+	}},
+	{"unbounded/capture/batch", func(w int) *Result {
+		return Run(Config{Kappa: 8, Horizon: 1, Drain: true, Seed: 22, Workers: w,
+			Medium: medium.NewCapture(8)},
+			nocd.NewUnbounded(rng.New(112)), &arrival.Batch{At: 0, N: 500})
+	}},
+	{"beb/capture/bernoulli+random-jam", func(w int) *Result {
+		return Run(Config{Kappa: 4, Horizon: 8000, Drain: true, Seed: 23, Workers: w,
+			Medium: medium.NewCapture(4), Jammer: &jam.Random{Rate: 0.1}},
+			baseline.NewExponentialBackoff(rng.New(113)), &arrival.Bernoulli{Rate: 0.2})
+	}},
+	{"mw/capture/reactive-adaptive", func(w int) *Result {
+		return Run(Config{Kappa: 4, Horizon: 8000, Drain: true, Seed: 24, Workers: w,
+			Medium: medium.NewCapture(4), Adversary: adversary.NewReactive(4, 16)},
+			baseline.NewMultiplicativeWeights(rng.New(114), baseline.DefaultMWConfig()),
+			&arrival.Bernoulli{Rate: 0.15})
 	}},
 }
 

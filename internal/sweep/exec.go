@@ -7,13 +7,17 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/arrival"
-	"repro/internal/baseline"
-	"repro/internal/core"
 	"repro/internal/jam"
 	"repro/internal/medium"
 	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/sim"
+
+	// Protocols are built through the registry; these imports link every
+	// implementing package so the axis (and Protocols above) is complete.
+	_ "repro/internal/baseline"
+	_ "repro/internal/core"
+	_ "repro/internal/nocd"
 )
 
 const (
@@ -21,33 +25,27 @@ const (
 	defaultAlohaP      = 0.001
 )
 
-// buildProtocol constructs the scenario's protocol with its own rng
-// stream.  For dba, errCount receives the number of error epochs
-// (Definition 2) observed over the run.
+// buildProtocol constructs the scenario's protocol through the registry
+// with its own rng stream.  For dba, errCount receives the number of
+// error epochs (Definition 2) observed over the run.
 func (s *Spec) buildProtocol(sc Scenario, seed uint64, errCount *int64) protocol.Protocol {
-	r := rng.New(seed)
-	switch sc.Protocol {
-	case "dba":
-		return core.New(sc.Kappa, r, core.WithEpochObserver(
-			protocol.EpochObserverFunc(func(info protocol.EpochInfo) {
-				if info.Error {
-					*errCount++
-				}
-			})))
-	case "beb":
-		return baseline.NewExponentialBackoff(r)
-	case "aloha":
-		p := s.AlohaP
-		if p == 0 {
-			p = defaultAlohaP
-		}
-		return baseline.NewSlottedAloha(r, p)
-	case "genie":
-		return baseline.NewGenieAloha(r, 1)
-	case "mw":
-		return baseline.NewMultiplicativeWeights(r, baseline.DefaultMWConfig())
+	alohaP := s.AlohaP
+	if alohaP == 0 {
+		alohaP = defaultAlohaP
 	}
-	panic(fmt.Sprintf("sweep: unknown protocol %q", sc.Protocol)) // Validate rejects these
+	if _, ok := protocol.Lookup(sc.Protocol); !ok {
+		panic(fmt.Sprintf("sweep: unknown protocol %q", sc.Protocol)) // Validate rejects these
+	}
+	return protocol.Build(sc.Protocol, protocol.Params{
+		Kappa:  sc.Kappa,
+		Rand:   rng.New(seed),
+		AlohaP: alohaP,
+		EpochObserver: protocol.EpochObserverFunc(func(info protocol.EpochInfo) {
+			if info.Error {
+				*errCount++
+			}
+		}),
+	})
 }
 
 // buildArrival constructs the scenario's arrival process, mapping the
@@ -115,10 +113,10 @@ func parseJammer(desc string) (jam.Jammer, error) {
 
 // buildMedium constructs the scenario's channel medium.  The coded
 // model returns nil, selecting the engine's default construction from
-// Kappa/MaxWindow; classical models are built fresh per trial (media
-// are stateful).
+// Kappa/MaxWindow; classical and capture media are built fresh per
+// trial (media are stateful).
 func buildMedium(sc Scenario) medium.Medium {
-	if !isClassical(sc.Model) {
+	if sc.Model == "coded" {
 		return nil
 	}
 	m, err := medium.New(sc.Model, sc.Kappa, 0)

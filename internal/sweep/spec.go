@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/medium"
+	"repro/internal/protocol"
 )
 
 // Model, protocol, and arrival kinds a Spec may name.
@@ -29,8 +30,11 @@ var (
 	// Models lists the known channel-model descriptors in canonical
 	// order (see internal/medium).
 	Models = medium.Models
-	// Protocols lists the known protocol kinds in canonical order.
-	Protocols = []string{"dba", "beb", "aloha", "genie", "mw"}
+	// Protocols lists the known protocol kinds in canonical order,
+	// straight from the protocol registry (exec.go links every
+	// implementing package, so the axis is complete by the time this
+	// package initializes).
+	Protocols = protocol.Names()
 	// Arrivals lists the known arrival kinds in canonical order.
 	Arrivals = []string{"batch", "bernoulli", "poisson", "even", "burst"}
 	// Adversaries lists the adversary descriptor forms a Spec may name
@@ -47,26 +51,31 @@ var (
 // packets per window), or horizon-fill fraction (batch: rate×Horizon
 // packets at slot 0, unless BatchN overrides).
 //
-// Four combinations are skipped during expansion rather than rejected,
+// Six combinations are skipped during expansion rather than rejected,
 // so one grid can mix channel models and adversaries freely: dba pairs
-// only with the coded model (the algorithm is defined for κ ≥ 6);
+// only with the coded model (the algorithm is defined for κ ≥ 6); the
+// no-CD protocols (robust, unbounded) pair only with classical:none
+// (their schedules assume no channel sensing — pairing them with richer
+// feedback would sweep cells whose extra information they ignore);
 // classical models collapse the κ axis to the single value 1 (the
-// collision channel has no threshold to sweep); jamming and adaptive
-// adversaries pair only with jammer "none" (double-jamming cells would
-// only square the grid, and an adaptive adversary cannot sit over a
-// jammed, silence-spoiling medium); and adaptive adversaries are
-// skipped under silence-masking models (classical:none has no channel
-// sensing, so the reactive trigger — and the determinism contract's
-// gap-equals-silence rule — is undefined there).
+// collision channel has no threshold to sweep); the capture model skips
+// κ = 1 (it collapses to the classical collision channel there, which
+// the classical axis already covers); jamming and adaptive adversaries
+// pair only with jammer "none" (double-jamming cells would only square
+// the grid, and an adaptive adversary cannot sit over a jammed,
+// silence-spoiling medium); and adaptive adversaries are skipped under
+// silence-masking models (classical:none has no channel sensing, so the
+// reactive trigger — and the determinism contract's gap-equals-silence
+// rule — is undefined there).
 type Spec struct {
 	// Name labels the sweep in artifacts (optional).
 	Name string `json:"name,omitempty"`
 
 	// Models ⊆ {coded, classical, classical:none, classical:binary,
-	// classical:ternary}.  Empty means {"coded"}; "classical" is
-	// shorthand for "classical:ternary".
+	// classical:ternary, capture}.  Empty means {"coded"}; "classical"
+	// is shorthand for "classical:ternary".
 	Models []string `json:"models,omitempty"`
-	// Protocols ⊆ {dba, beb, aloha, genie, mw}.
+	// Protocols ⊆ {dba, beb, aloha, genie, mw, robust, unbounded}.
 	Protocols []string `json:"protocols"`
 	// Arrivals ⊆ {batch, bernoulli, poisson, even, burst}.
 	Arrivals []string `json:"arrivals"`
@@ -162,7 +171,10 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("sweep: unknown model %q (want one of %s)",
 				m, strings.Join(Models, ", "))
 		}
-		hasCoded = hasCoded || !isClassical(m)
+		// The capture model shares the coded channel's κ-ary decoding
+		// power but not its cross-slot windows; dba's κ ≥ 6 requirement
+		// (and the dba pairing rule below) is about coded specifically.
+		hasCoded = hasCoded || m == "coded"
 	}
 	if len(s.Protocols) == 0 {
 		return fmt.Errorf("sweep: no protocols")
@@ -195,6 +207,15 @@ func (s *Spec) Validate() error {
 	}
 	if !hasCoded && len(s.Protocols) == 1 && s.Protocols[0] == "dba" {
 		return fmt.Errorf("sweep: dba pairs only with the coded model, but no coded model is swept")
+	}
+	allNoCD := true
+	for _, p := range s.Protocols {
+		info, _ := protocol.Lookup(p)
+		allNoCD = allNoCD && info.NoCDOnly
+	}
+	if allNoCD && !contains(s.Models, "classical:none") {
+		return fmt.Errorf("sweep: no-CD protocols (%s) pair only with the classical:none model, but it is not swept",
+			strings.Join(s.Protocols, ", "))
 	}
 	if len(s.Rates) == 0 {
 		return fmt.Errorf("sweep: no rates")
@@ -247,6 +268,9 @@ func (s *Spec) Validate() error {
 	if s.AlohaP < 0 || s.AlohaP > 1 {
 		return fmt.Errorf("sweep: aloha p %g outside [0,1]", s.AlohaP)
 	}
+	if len(s.Expand()) == 0 {
+		return fmt.Errorf("sweep: the skip rules leave no cells (every protocol/model/κ combination named is skipped)")
+	}
 	return nil
 }
 
@@ -260,12 +284,13 @@ var classicalKappas = []int{1}
 // Expand enumerates the grid's cells in canonical nesting order (model,
 // then protocol, then arrival, then κ, then rate, then jammer, then
 // adversary).  The order is part of the artifact contract: cell seeds
-// are assigned along it.  Four skip rules keep mixed grids runnable:
-// dba cells exist only under coded models; classical models collapse
-// the κ axis to {1}; jamming and adaptive adversaries pair only with
-// jammer "none"; and adaptive adversaries are skipped under
-// silence-masking models (the feedback they react to does not exist
-// there).
+// are assigned along it.  Six skip rules keep mixed grids runnable:
+// dba cells exist only under the coded model; no-CD protocols exist
+// only under classical:none; classical models collapse the κ axis to
+// {1}; the capture model skips κ = 1 (where it collapses to classical);
+// jamming and adaptive adversaries pair only with jammer "none"; and
+// adaptive adversaries are skipped under silence-masking models (the
+// feedback they react to does not exist there).
 func (s *Spec) Expand() []Scenario {
 	models := s.Models
 	if len(models) == 0 {
@@ -290,9 +315,19 @@ func (s *Spec) Expand() []Scenario {
 	var cells []Scenario
 	for _, m := range models {
 		kappas := s.Kappas
-		classical := isClassical(m)
-		if classical {
+		if isClassical(m) {
 			kappas = classicalKappas
+		} else if m == "capture" {
+			// Capture at κ = 1 is the classical collision channel, which
+			// the classical axis already covers; sweep only the κ where
+			// capture is its own model.
+			filtered := make([]int, 0, len(kappas))
+			for _, k := range kappas {
+				if k >= 2 {
+					filtered = append(filtered, k)
+				}
+			}
+			kappas = filtered
 		}
 		// Adaptive adversaries need truthful silence feedback; ask the
 		// model itself rather than hard-coding descriptor names.
@@ -301,8 +336,12 @@ func (s *Spec) Expand() []Scenario {
 			masksSilence = medium.MasksSilence(built)
 		}
 		for _, p := range s.Protocols {
-			if classical && p == "dba" {
+			info, _ := protocol.Lookup(p)
+			if info.CodedOnly && m != "coded" {
 				continue // dba is defined for the coded channel (κ ≥ 6)
+			}
+			if info.NoCDOnly && m != "classical:none" {
+				continue // no-CD schedules assume no channel sensing
 			}
 			for _, a := range s.Arrivals {
 				for _, k := range kappas {
