@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(args ...string) (stderr string, err error) {
+	var buf bytes.Buffer
+	err = run(args, &buf)
+	return buf.String(), err
+}
+
+func TestDirIsRequired(t *testing.T) {
+	_, err := runCLI()
+	if err == nil || !strings.Contains(err.Error(), "-dir") {
+		t.Fatalf("err = %v, want the missing -dir error", err)
+	}
+}
+
+func TestPositionalArgsRejected(t *testing.T) {
+	_, err := runCLI("-dir", t.TempDir(), "extra")
+	if err == nil || !strings.Contains(err.Error(), "unexpected arguments") {
+		t.Fatalf("err = %v, want the unexpected-arguments error", err)
+	}
+}
+
+func TestBadListenAddressRejected(t *testing.T) {
+	_, err := runCLI("-dir", t.TempDir(), "-addr", "not-an-address:::")
+	if err == nil {
+		t.Fatal("bad -addr accepted")
+	}
+}
+
+func TestHelpIsNotAnError(t *testing.T) {
+	stderr, err := runCLI("-h")
+	if err != nil {
+		t.Fatalf("-h returned %v, want nil", err)
+	}
+	if !strings.Contains(stderr, "-dir") {
+		t.Fatalf("usage not printed:\n%s", stderr)
+	}
+}

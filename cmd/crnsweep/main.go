@@ -14,10 +14,20 @@
 // the full grid, verifying they cover exactly one spec.  Merged (and
 // resumed) output is byte-identical to a single-process run.
 //
+// Static shards are one scheduling policy; -worker is the other
+// (DESIGN.md §6.3): workers claim cells dynamically from a shared
+// store — a -cache-dir directory or a crnserve URL via -backend — so
+// any number of workers, started and killed at any time, drain one grid
+// together.  -assemble reads the drained store back into the full grid.
+// Both policies fill the same record namespace and produce the same
+// bytes.
+//
 // Usage:
 //
 //	crnsweep [-spec file.json] [grid flags] [-shard k/N] [-cache-dir dir [-resume]] [-json path] [-csv path] [-bench path]
 //	crnsweep -merge [-json path] [-csv path] [-bench path] shard1.json shard2.json ...
+//	crnsweep [-spec file.json] -worker {-backend URL | -cache-dir dir} [-owner name] [-lease-ttl d]
+//	crnsweep [-spec file.json] -assemble {-backend URL | -cache-dir dir} [-json path] [-csv path] [-bench path]
 //
 // Examples:
 //
@@ -32,19 +42,25 @@
 //	crnsweep -spec sweep.json -shard 2/4 -json shard2.json  # one of 4 shards
 //	crnsweep -merge -json full.json shard*.json # reassemble the full grid
 //	crnsweep -spec sweep.json -cache-dir .sweep-cache -resume  # redo only missing cells
+//	crnsweep -spec sweep.json -worker -backend http://coordinator:8771  # on each machine
+//	crnsweep -spec sweep.json -assemble -backend http://coordinator:8771 -json grid.json
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/cache/httpstore"
 	"repro/internal/report"
 	"repro/internal/sweep"
 )
@@ -88,6 +104,11 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	cacheDir := fs.String("cache-dir", "", "persist each completed cell as a content-addressed record in this directory")
 	resume := fs.Bool("resume", false, "with -cache-dir: load already-cached cells and execute only the missing ones")
 	merge := fs.Bool("merge", false, "merge shard artifacts (positional args) into the full grid instead of running")
+	backendURL := fs.String("backend", "", "crnserve URL of a shared cell store (work-stealing alternative to -cache-dir)")
+	worker := fs.Bool("worker", false, "drain the grid as a work-stealing worker against the shared store (-backend or -cache-dir)")
+	assemble := fs.Bool("assemble", false, "read the full grid back from the shared store instead of running anything")
+	owner := fs.String("owner", "", "with -worker: lease-owner label (default worker-<pid>)")
+	leaseTTL := fs.Duration("lease-ttl", sweep.DefaultLeaseTTL, "with -worker: how long a claimed cell stays this worker's before others may steal it")
 	jsonPath := fs.String("json", "", "write the grid (or shard artifact) as JSON to this path ('-' = stdout)")
 	csvPath := fs.String("csv", "", "write the grid as CSV to this path ('-' = stdout)")
 	benchPath := fs.String("bench", "", "write the compact benchmark artifact (per-cell headline means) to this path")
@@ -97,6 +118,43 @@ func run(argv []string, stdout, stderr io.Writer) error {
 			return nil // -h is a successful exit, not an error
 		}
 		return errFlagParse // the FlagSet already printed the problem
+	}
+
+	setFlags := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+
+	if *worker && *assemble {
+		return fmt.Errorf("-worker and -assemble are different roles: workers drain the store, assemble reads it back — run them as separate invocations")
+	}
+	if *merge && (*worker || *assemble) {
+		return fmt.Errorf("-merge reassembles shard artifacts; a shared store is read back with -assemble alone")
+	}
+	if *backendURL != "" && *cacheDir != "" {
+		return fmt.Errorf("-backend and -cache-dir name two different stores; pick one")
+	}
+	if (*worker || *assemble) && *backendURL == "" && *cacheDir == "" {
+		return fmt.Errorf("-worker/-assemble need a shared store: -backend URL or -cache-dir DIR")
+	}
+	if *backendURL != "" && !*worker && !*assemble {
+		return fmt.Errorf("-backend is the shared store for -worker or -assemble; a plain run caches locally with -cache-dir")
+	}
+	if *resume && *backendURL != "" {
+		return fmt.Errorf("-resume is the -cache-dir workflow; against a shared backend use -worker, which skips completed cells by construction")
+	}
+	if *resume && (*worker || *assemble) {
+		return fmt.Errorf("-resume does not apply: -worker always skips completed cells and -assemble executes nothing")
+	}
+	if (setFlags["owner"] || setFlags["lease-ttl"]) && !*worker {
+		return fmt.Errorf("-owner/-lease-ttl only apply to -worker")
+	}
+	if *worker && *shardFlag != "" {
+		return fmt.Errorf("-shard assigns cells statically and -worker claims them dynamically; pick one scheduling policy")
+	}
+	if *assemble && *shardFlag != "" {
+		return fmt.Errorf("-assemble reads the whole grid; shards do not apply")
+	}
+	if *worker && (*jsonPath != "" || *csvPath != "" || *benchPath != "") {
+		return fmt.Errorf("a worker does not own the full grid; run -assemble afterwards to emit artifacts")
 	}
 
 	if *merge {
@@ -169,18 +227,42 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	}
 
 	opts := sweep.Options{Parallelism: *parallelism, Workers: *workers, Resume: *resume}
-	if *cacheDir != "" {
+	if *backendURL != "" {
+		client, err := httpstore.NewClient(*backendURL)
+		if err != nil {
+			return err
+		}
+		opts.Cache = client
+	} else if *cacheDir != "" {
 		store, err := cache.Open(*cacheDir)
 		if err != nil {
 			return err
 		}
 		opts.Cache = store
 	}
+
+	if *assemble {
+		grid, err := sweep.Assemble(spec, opts.Cache)
+		if err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Fprintf(stderr, "crnsweep: assembled %d cells from the shared store\n", len(grid.Cells))
+			if *jsonPath != "-" && *csvPath != "-" {
+				fmt.Fprint(stdout, grid.Table().String())
+			}
+		}
+		return writeGrid(grid, *jsonPath, *csvPath, *benchPath, stdout)
+	}
+
 	if !*quiet {
 		total := spec.Cells()
-		if sharded {
+		switch {
+		case *worker:
+			fmt.Fprintf(stderr, "crnsweep: worker draining %d cells × %d trials\n", total, spec.Trials)
+		case sharded:
 			fmt.Fprintf(stderr, "crnsweep: shard %s of %d cells × %d trials\n", shard, total, spec.Trials)
-		} else {
+		default:
 			fmt.Fprintf(stderr, "crnsweep: %d cells × %d trials\n", total, spec.Trials)
 		}
 		opts.OnCell = func(done, total int, cell *sweep.CellSummary, cached bool) {
@@ -193,6 +275,24 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		}
 	}
 	start := time.Now()
+
+	if *worker {
+		opts.Owner = *owner
+		opts.LeaseTTL = *leaseTTL
+		// Ctrl-C (or a coordinator's SIGTERM) stops the worker between
+		// cells; its unexpired leases become stealable when they lapse.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		res, err := sweep.RunWorker(ctx, spec, opts)
+		if err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Fprintf(stderr, "crnsweep: worker %s done in %v: executed %d, loaded %d of %d cells\n",
+				res.Owner, time.Since(start).Round(time.Millisecond), res.Executed, res.Loaded, res.Total)
+		}
+		return nil
+	}
 
 	// When an artifact streams to stdout, keep stdout machine-clean: the
 	// table would corrupt the JSON/CSV a pipe consumes.

@@ -194,3 +194,100 @@ func mustRead(t *testing.T, path string) []byte {
 	}
 	return data
 }
+
+// TestDistributedFlagValidation covers the coordinator/worker/backend
+// flag surface: every row is a misuse that must be refused with a
+// message pointing at the right flag.
+func TestDistributedFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"worker and assemble", tinyArgs("-worker", "-assemble", "-cache-dir", "d"), "-worker and -assemble"},
+		{"worker without store", tinyArgs("-worker"), "shared store"},
+		{"assemble without store", tinyArgs("-assemble"), "shared store"},
+		{"backend with cache-dir", tinyArgs("-worker", "-backend", "http://localhost:1", "-cache-dir", "d"), "pick one"},
+		{"backend without role", tinyArgs("-backend", "http://localhost:1"), "-worker or -assemble"},
+		{"bad backend url", tinyArgs("-worker", "-backend", "not a url"), "url"},
+		{"relative backend url", tinyArgs("-worker", "-backend", "localhost:8771"), "url"},
+		{"resume with backend", tinyArgs("-resume", "-worker", "-backend", "http://localhost:1"), "-worker"},
+		{"resume with worker", tinyArgs("-resume", "-worker", "-cache-dir", "d"), "-worker"},
+		{"shard with worker", tinyArgs("-worker", "-cache-dir", "d", "-shard", "1/2"), "scheduling policy"},
+		{"shard with assemble", tinyArgs("-assemble", "-cache-dir", "d", "-shard", "1/2"), "-assemble"},
+		{"worker with json", tinyArgs("-worker", "-cache-dir", "d", "-json", "x.json"), "-assemble"},
+		{"worker with csv", tinyArgs("-worker", "-cache-dir", "d", "-csv", "x.csv"), "-assemble"},
+		{"worker with bench", tinyArgs("-worker", "-cache-dir", "d", "-bench", "x.json"), "-assemble"},
+		{"merge with worker", []string{"-merge", "-worker", "-cache-dir", "d", "x.json"}, "-assemble"},
+		{"owner without worker", tinyArgs("-owner", "w1"), "-worker"},
+		{"lease-ttl without worker", tinyArgs("-lease-ttl", "5m"), "-worker"},
+		{"assemble positional", tinyArgs("-assemble", "-cache-dir", "d", "stray.json"), "unexpected arguments"},
+	}
+	for _, c := range cases {
+		_, _, err := runCLI(t, c.args...)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(c.want)) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestCLIWorkerAssembleMatchesUnsharded is the CLI-level end of the
+// work-stealing contract: two -worker invocations drain a shared
+// -cache-dir store, -assemble reads it back, and the artifact is
+// byte-identical to a plain run's.
+func TestCLIWorkerAssembleMatchesUnsharded(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.json")
+	if _, _, err := runCLI(t, tinyArgs("-kappas", "4,8", "-json", full)...); err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := filepath.Join(dir, "cells")
+	var stderrs [2]string
+	for w := 0; w < 2; w++ {
+		args := tinyArgs("-kappas", "4,8", "-worker", "-cache-dir", cacheDir,
+			"-owner", fmt.Sprintf("w%d", w), "-lease-ttl", "1m")
+		// -quiet is in tinyArgs; drop it for the first worker to check the
+		// progress line.
+		if w == 0 {
+			filtered := args[:0]
+			for _, a := range args {
+				if a != "-quiet" {
+					filtered = append(filtered, a)
+				}
+			}
+			args = filtered
+		}
+		var out, errBuf bytes.Buffer
+		if err := run(args, &out, &errBuf); err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+		stderrs[w] = errBuf.String()
+	}
+	if !strings.Contains(stderrs[0], "worker") {
+		t.Fatalf("worker progress line missing:\n%s", stderrs[0])
+	}
+	assembled := filepath.Join(dir, "assembled.json")
+	if _, _, err := runCLI(t, tinyArgs("-kappas", "4,8", "-assemble", "-cache-dir", cacheDir, "-json", assembled)...); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustRead(t, full), mustRead(t, assembled)) {
+		t.Fatal("assembled CLI artifact differs from the plain run")
+	}
+}
+
+// TestCLIAssembleIncompleteStoreFails: assembling before the workers
+// finish is an error that says the store is short, not a bad artifact.
+func TestCLIAssembleIncompleteStoreFails(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cells")
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := runCLI(t, tinyArgs("-assemble", "-cache-dir", cacheDir, "-json", "-")...)
+	if err == nil || !strings.Contains(err.Error(), "cells") {
+		t.Fatalf("err = %v, want the missing-cells error", err)
+	}
+}

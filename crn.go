@@ -1,10 +1,14 @@
 package crn
 
 import (
+	"context"
+	"net/http"
+
 	"repro/internal/adversary"
 	"repro/internal/arrival"
 	"repro/internal/baseline"
 	"repro/internal/cache"
+	"repro/internal/cache/httpstore"
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/jam"
@@ -402,6 +406,46 @@ func MergeSweepShards(shards []*SweepShardResult) (*SweepGrid, error) {
 // OpenSweepCache opens (creating if needed) a sweep cell cache rooted
 // at dir, for SweepOptions.Cache/Resume.
 func OpenSweepCache(dir string) (*SweepCache, error) { return cache.Open(dir) }
+
+// SweepBackend is the pluggable cell-store interface distributed sweeps
+// share: content-addressed Get/Put/List plus advisory TTL leases
+// (Claim).  A *SweepCache satisfies it locally; NewSweepHTTPBackend
+// reaches a served store remotely.
+type SweepBackend = cache.Backend
+
+// SweepWorkerResult summarizes one work-stealing worker's run: how many
+// cells it executed versus loaded from neighbors' records.
+type SweepWorkerResult = sweep.WorkerResult
+
+// DefaultSweepLeaseTTL is how long a claimed cell stays one worker's
+// before others may steal it, when SweepOptions.LeaseTTL is zero.
+const DefaultSweepLeaseTTL = sweep.DefaultLeaseTTL
+
+// RunSweepWorker drains the spec's grid as one work-stealing worker
+// against the shared backend in opts.Cache: load-or-claim-and-execute
+// per cell, waiting out neighbors' leases at the end.  Any number of
+// workers — concurrent, killed, restarted — converge on the same
+// store contents; AssembleSweep then rebuilds the grid byte-identical
+// to RunSweep's.  Cancel ctx to stop between cells.
+func RunSweepWorker(ctx context.Context, spec SweepSpec, opts SweepOptions) (*SweepWorkerResult, error) {
+	return sweep.RunWorker(ctx, spec, opts)
+}
+
+// AssembleSweep reads the full grid back from a drained backend,
+// verifying every record against the identity the spec derives for its
+// position; the result is byte-identical to an unsharded RunSweep.
+func AssembleSweep(spec SweepSpec, backend SweepBackend) (*SweepGrid, error) {
+	return sweep.Assemble(spec, backend)
+}
+
+// NewSweepHTTPBackend returns a SweepBackend speaking to a crnserve
+// coordinator (see NewSweepHTTPServer) at an absolute http(s) URL.
+func NewSweepHTTPBackend(url string) (SweepBackend, error) { return httpstore.NewClient(url) }
+
+// NewSweepHTTPServer wraps a local sweep cache in the HTTP handler
+// crnserve mounts, serving one record namespace and one lease table to
+// remote workers.
+func NewSweepHTTPServer(store *SweepCache) http.Handler { return httpstore.NewServer(store) }
 
 // TheoremRate returns Theorem 11's guaranteed-stable arrival rate,
 // 1 − 5/ln κ (non-positive for κ ≤ e⁵ ≈ 148: the constants are loose).

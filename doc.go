@@ -78,6 +78,15 @@
 // The same machinery is exported here as RunSweep, RunSweepShard,
 // MergeSweepShards, and OpenSweepCache.
 //
+// Distributed execution generalizes the cache into a shared store
+// (DESIGN.md §6.3): cmd/crnserve serves a cell directory over HTTP, any
+// number of crnsweep -worker processes drain the grid by claiming cells
+// under advisory TTL leases, and -assemble reads the byte-identical
+// grid back.  cmd/crnquery lists, filters, and diffs the resulting
+// cells across runs and commits.  Exported here as SweepBackend,
+// RunSweepWorker, AssembleSweep, NewSweepHTTPBackend, and
+// NewSweepHTTPServer.
+//
 // cmd/experiments accepts -parallel to run the E1–E15
 // reproduction harness concurrently and -json for the same
 // machine-readable treatment; cmd/crnbench times the engine itself

@@ -8,6 +8,24 @@
 // The store is deliberately dumb: it neither computes identities nor
 // interprets records.  Identity computation (what invalidates what)
 // belongs to the caller; see internal/sweep's cell-identity hash.
+//
+// The Backend interface generalizes the store into a shared namespace
+// with advisory leases (Claim), so several workers — or, through
+// internal/cache/httpstore, several machines — can drain one grid by
+// claiming cells instead of being assigned them.
+//
+// # Crash consistency
+//
+// Record writes are atomic (temp file + rename) and durable: the record
+// file is fsynced before the rename and the directory after it, so once
+// Put returns, the record survives not just a killed process but a
+// power loss.  That stronger guarantee matters because a Put is an
+// acknowledgement — resume and work-stealing runs will never re-execute
+// a cell whose record they can read, so an acked-then-vanished record
+// would silently turn "done" back into "missing" on another machine's
+// schedule.  Lease files, by contrast, are written atomically but not
+// durably: a lease lost to a power cut merely lets another worker claim
+// the cell, which is the behavior a dead worker wants anyway.
 package cache
 
 import (
@@ -15,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/report"
 )
@@ -22,6 +41,10 @@ import (
 // Store is a directory of content-addressed JSON records.
 type Store struct {
 	dir string
+	// claims serializes Claim's read-check-write within this process, so
+	// goroutine workers sharing one Store get real mutual exclusion;
+	// across processes the lease stays advisory (see Claim).
+	claims sync.Mutex
 }
 
 // Open returns a store rooted at dir, creating the directory if needed.
@@ -79,15 +102,23 @@ func (s *Store) Get(id string, v interface{}) (bool, error) {
 	return true, nil
 }
 
-// Put stores v as the record with the given identity, atomically
-// replacing any previous record.
+// Put stores v as the record with the given identity, atomically and
+// durably (fsync before rename, directory fsync after — see the
+// package's crash-consistency note) replacing any previous record, and
+// releases any lease on the identity: a completed record supersedes
+// every claim.
 func (s *Store) Put(id string, v interface{}) error {
 	if !validID(id) {
 		return fmt.Errorf("cache: malformed record id %q", id)
 	}
-	if err := report.SaveJSON(s.Path(id), v); err != nil {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
 		return fmt.Errorf("cache: %w", err)
 	}
+	if err := report.SaveFileDurable(s.Path(id), append(data, '\n')); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	os.Remove(s.leasePath(id)) // best-effort; a stale lease is harmless once the record exists
 	return nil
 }
 

@@ -1,0 +1,285 @@
+// Package httpstore puts a cache.Backend on the network: Server wraps
+// any backend (normally a filesystem cache.Store) behind a small HTTP
+// API, and Client implements cache.Backend against such a server, so
+// sweep workers on several machines share one record namespace and one
+// lease table.
+//
+// The API is four routes, all JSON:
+//
+//	GET  /records            → sorted array of record identities
+//	GET  /records/{id}       → the record's JSON (404 = miss)
+//	PUT  /records/{id}       → store the body as the record (204)
+//	POST /claims/{id}?owner=O&ttl=D → {"granted": true|false}
+//
+// Backend semantics carry over the wire unchanged: a corrupt or foreign
+// record is a 404 (a miss) rather than an error, claims are advisory,
+// and Put supersedes any lease.  The one semantic the server adds is
+// atomicity of Claim's read-check-write — requests to one server are
+// serialized per identity, so two remote workers cannot both win a
+// claim the way two processes racing on one filesystem can.
+package httpstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+)
+
+// maxRecordBytes bounds one record (or claim) request body; sweep cell
+// records are a few KiB, so 16 MiB is generous without letting a
+// misdirected upload exhaust the server.
+const maxRecordBytes = 16 << 20
+
+// Server serves a cache.Backend over HTTP.  Create one with NewServer.
+type Server struct {
+	backend cache.Backend
+	mux     *http.ServeMux
+	// claims serializes Claim's read-check-write per server, making the
+	// advisory lease a real mutex between this server's clients.
+	claims sync.Mutex
+}
+
+// NewServer wraps a backend in the HTTP API.
+func NewServer(b cache.Backend) *Server {
+	s := &Server{backend: b, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/records", s.handleList)
+	s.mux.HandleFunc("/records/", s.handleRecord)
+	s.mux.HandleFunc("/claims/", s.handleClaim)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	ids, err := s.backend.List()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if ids == nil {
+		ids = []string{}
+	}
+	writeJSON(w, ids)
+}
+
+func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/records/")
+	switch r.Method {
+	case http.MethodGet:
+		var raw json.RawMessage
+		ok, err := s.backend.Get(id, &raw)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if !ok {
+			http.Error(w, "no such record", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(raw)
+	case http.MethodPut:
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxRecordBytes+1))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(body) > maxRecordBytes {
+			http.Error(w, "record too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		var raw json.RawMessage
+		if err := json.Unmarshal(body, &raw); err != nil {
+			http.Error(w, "record body is not JSON", http.StatusBadRequest)
+			return
+		}
+		if err := s.backend.Put(id, raw); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/claims/")
+	owner := r.URL.Query().Get("owner")
+	ttl, err := time.ParseDuration(r.URL.Query().Get("ttl"))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad ttl: %v", err), http.StatusBadRequest)
+		return
+	}
+	s.claims.Lock()
+	granted, err := s.backend.Claim(id, owner, ttl)
+	s.claims.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]bool{"granted": granted})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// Client is a cache.Backend backed by a remote Server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+var _ cache.Backend = (*Client)(nil)
+
+// NewClient returns a backend talking to the server at baseURL
+// (e.g. "http://sweep-cache:8771").  The URL must be absolute http or
+// https; a trailing slash is tolerated.
+func NewClient(baseURL string) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("httpstore: bad backend URL %q: %v", baseURL, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("httpstore: bad backend URL %q (want http://host:port or https://host:port)", baseURL)
+	}
+	return &Client{base: strings.TrimSuffix(u.String(), "/"), http: &http.Client{Timeout: 30 * time.Second}}, nil
+}
+
+// URL returns the backend base URL the client talks to.
+func (c *Client) URL() string { return c.base }
+
+// Get implements Backend.Get: a 404 — including the server's view of a
+// corrupt record — is a miss, and a record the client cannot decode
+// into v degrades to a miss too, mirroring the filesystem store.
+func (c *Client) Get(id string, v interface{}) (bool, error) {
+	resp, err := c.http.Get(c.base + "/records/" + url.PathEscape(id))
+	if err != nil {
+		return false, fmt.Errorf("httpstore: %w", err)
+	}
+	body, status, err := drain(resp)
+	if err != nil {
+		return false, err
+	}
+	switch status {
+	case http.StatusOK:
+		if json.Unmarshal(body, v) != nil {
+			return false, nil // undecodable record = miss, like the fs store
+		}
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("httpstore: get %s: %s", id, httpError(status, body))
+	}
+}
+
+// Put implements Backend.Put.
+func (c *Client) Put(id string, v interface{}) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("httpstore: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPut, c.base+"/records/"+url.PathEscape(id), bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("httpstore: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("httpstore: %w", err)
+	}
+	body, status, err := drain(resp)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusNoContent {
+		return fmt.Errorf("httpstore: put %s: %s", id, httpError(status, body))
+	}
+	return nil
+}
+
+// List implements Backend.List.
+func (c *Client) List() ([]string, error) {
+	resp, err := c.http.Get(c.base + "/records")
+	if err != nil {
+		return nil, fmt.Errorf("httpstore: %w", err)
+	}
+	body, status, err := drain(resp)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("httpstore: list: %s", httpError(status, body))
+	}
+	var ids []string
+	if err := json.Unmarshal(body, &ids); err != nil {
+		return nil, fmt.Errorf("httpstore: bad list response: %v", err)
+	}
+	return ids, nil
+}
+
+// Claim implements Backend.Claim.
+func (c *Client) Claim(id, owner string, ttl time.Duration) (bool, error) {
+	u := fmt.Sprintf("%s/claims/%s?owner=%s&ttl=%s",
+		c.base, url.PathEscape(id), url.QueryEscape(owner), url.QueryEscape(ttl.String()))
+	resp, err := c.http.Post(u, "application/json", nil)
+	if err != nil {
+		return false, fmt.Errorf("httpstore: %w", err)
+	}
+	body, status, err := drain(resp)
+	if err != nil {
+		return false, err
+	}
+	if status != http.StatusOK {
+		return false, fmt.Errorf("httpstore: claim %s: %s", id, httpError(status, body))
+	}
+	var out struct {
+		Granted bool `json:"granted"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return false, fmt.Errorf("httpstore: bad claim response: %v", err)
+	}
+	return out.Granted, nil
+}
+
+// drain reads and closes a response body.
+func drain(resp *http.Response) ([]byte, int, error) {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxRecordBytes+1))
+	if err != nil {
+		return nil, 0, fmt.Errorf("httpstore: %w", err)
+	}
+	return body, resp.StatusCode, nil
+}
+
+// httpError renders a non-2xx response compactly.
+func httpError(status int, body []byte) string {
+	msg := strings.TrimSpace(string(body))
+	if len(msg) > 200 {
+		msg = msg[:200] + "…"
+	}
+	if msg == "" {
+		return fmt.Sprintf("HTTP %d", status)
+	}
+	return fmt.Sprintf("HTTP %d: %s", status, msg)
+}

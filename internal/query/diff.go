@@ -1,0 +1,226 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// metricNames are the headline metrics every source carries, in report
+// column order.
+var metricNames = []string{"throughput", "max_backlog", "latency_p99", "error_epochs"}
+
+// metrics extracts the comparable metric vector from a cell, in
+// metricNames order.
+func metrics(c *Cell) [4]float64 {
+	return [4]float64{c.Throughput, c.MaxBacklog, c.LatencyP99, float64(c.ErrorEpochs)}
+}
+
+// Delta is one joined cell: the metric vector on each side, compared
+// exactly.  Same is exact float equality on every metric — reruns of
+// the same spec and seed are byte-identical in this repo, so any
+// inexactness is a real change, not noise.
+type Delta struct {
+	Key  string
+	A, B [4]float64
+	Same bool
+}
+
+// Diff joins two Sets by cell key.  Deltas lists the shared cells in
+// key order; OnlyA and OnlyB list the keys present on one side only.
+type Diff struct {
+	A, B   *Set
+	Deltas []Delta
+	OnlyA  []string
+	OnlyB  []string
+}
+
+// Changed counts shared cells whose metrics differ.
+func (d *Diff) Changed() int {
+	n := 0
+	for i := range d.Deltas {
+		if !d.Deltas[i].Same {
+			n++
+		}
+	}
+	return n
+}
+
+// Compare joins two Sets by cell key.  Both are already sorted, so the
+// join is a linear merge and the output order is the key order — the
+// same bytes for the same inputs, every time.
+func Compare(a, b *Set) *Diff {
+	d := &Diff{A: a, B: b}
+	i, j := 0, 0
+	for i < len(a.Cells) && j < len(b.Cells) {
+		ka, kb := a.Cells[i].Key(), b.Cells[j].Key()
+		switch {
+		case ka < kb:
+			d.OnlyA = append(d.OnlyA, ka)
+			i++
+		case ka > kb:
+			d.OnlyB = append(d.OnlyB, kb)
+			j++
+		default:
+			ma, mb := metrics(&a.Cells[i]), metrics(&b.Cells[j])
+			d.Deltas = append(d.Deltas, Delta{Key: ka, A: ma, B: mb, Same: ma == mb})
+			i++
+			j++
+		}
+	}
+	for ; i < len(a.Cells); i++ {
+		d.OnlyA = append(d.OnlyA, a.Cells[i].Key())
+	}
+	for ; j < len(b.Cells); j++ {
+		d.OnlyB = append(d.OnlyB, b.Cells[j].Key())
+	}
+	return d
+}
+
+// Markdown renders the diff as a deterministic markdown report.  With
+// changedOnly, unchanged cells are folded into a count instead of rows.
+func (d *Diff) Markdown(changedOnly bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# Cell diff\n\n- A: %s (%s, %d cells)\n- B: %s (%s, %d cells)\n",
+		d.A.Label, d.A.Kind, len(d.A.Cells), d.B.Label, d.B.Kind, len(d.B.Cells))
+	changed := d.Changed()
+	fmt.Fprintf(&sb, "- shared: %d (%d changed), only in A: %d, only in B: %d\n",
+		len(d.Deltas), changed, len(d.OnlyA), len(d.OnlyB))
+	if len(d.Deltas) > 0 {
+		sb.WriteString("\n| cell |")
+		for _, m := range metricNames {
+			fmt.Fprintf(&sb, " %s A | %s B | Δ |", m, m)
+		}
+		sb.WriteString("\n|---|")
+		sb.WriteString(strings.Repeat("---|---|---|", len(metricNames)))
+		sb.WriteString("\n")
+		hidden := 0
+		for i := range d.Deltas {
+			dl := &d.Deltas[i]
+			if changedOnly && dl.Same {
+				hidden++
+				continue
+			}
+			fmt.Fprintf(&sb, "| %s |", dl.Key)
+			for m := range metricNames {
+				fmt.Fprintf(&sb, " %s | %s | %s |",
+					fmtFloat(dl.A[m]), fmtFloat(dl.B[m]), fmtDelta(dl.A[m], dl.B[m]))
+			}
+			sb.WriteString("\n")
+		}
+		if hidden > 0 {
+			fmt.Fprintf(&sb, "\n%d unchanged cells hidden.\n", hidden)
+		}
+	}
+	writeOnly(&sb, "Only in A", d.OnlyA)
+	writeOnly(&sb, "Only in B", d.OnlyB)
+	return sb.String()
+}
+
+func writeOnly(sb *strings.Builder, title string, keys []string) {
+	if len(keys) == 0 {
+		return
+	}
+	fmt.Fprintf(sb, "\n## %s\n\n", title)
+	for _, k := range keys {
+		fmt.Fprintf(sb, "- %s\n", k)
+	}
+}
+
+// CSV renders the diff's shared cells as CSV with one row per cell and
+// a side column for one-sided keys, machine-friendly and byte-stable.
+func (d *Diff) CSV(changedOnly bool) string {
+	var sb strings.Builder
+	sb.WriteString("cell,side")
+	for _, m := range metricNames {
+		fmt.Fprintf(&sb, ",%s_a,%s_b,%s_delta", m, m, m)
+	}
+	sb.WriteString("\n")
+	for i := range d.Deltas {
+		dl := &d.Deltas[i]
+		if changedOnly && dl.Same {
+			continue
+		}
+		fmt.Fprintf(&sb, "%s,both", csvField(dl.Key))
+		for m := range metricNames {
+			fmt.Fprintf(&sb, ",%s,%s,%s", fmtFloat(dl.A[m]), fmtFloat(dl.B[m]), fmtDelta(dl.A[m], dl.B[m]))
+		}
+		sb.WriteString("\n")
+	}
+	for _, k := range d.OnlyA {
+		fmt.Fprintf(&sb, "%s,a%s\n", csvField(k), strings.Repeat(",,,", len(metricNames)))
+	}
+	for _, k := range d.OnlyB {
+		fmt.Fprintf(&sb, "%s,b%s\n", csvField(k), strings.Repeat(",,,", len(metricNames)))
+	}
+	return sb.String()
+}
+
+// csvField quotes a CSV field if it needs it.  Cell keys never do
+// today, but the renderer should not depend on that.
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// fmtDelta renders b-a, signed, or "=" for an exact match.
+func fmtDelta(a, b float64) string {
+	if a == b {
+		return "="
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return "?"
+	}
+	diff := b - a
+	s := fmtFloat(diff)
+	if diff > 0 {
+		s = "+" + s
+	}
+	return s
+}
+
+// Markdown renders a Set as a deterministic markdown table, one row
+// per cell in key order.
+func (s *Set) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# Cells: %s\n\n- kind: %s, cells: %d", s.Label, s.Kind, len(s.Cells))
+	if s.Skipped > 0 {
+		fmt.Fprintf(&sb, ", skipped records: %d", s.Skipped)
+	}
+	sb.WriteString("\n")
+	if len(s.Cells) == 0 {
+		return sb.String()
+	}
+	sb.WriteString("\n| cell | trials | throughput | max_backlog | latency_p50 | latency_p99 | error_epochs |\n")
+	sb.WriteString("|---|---|---|---|---|---|---|\n")
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		trials := "-"
+		if c.Trials > 0 {
+			trials = fmt.Sprintf("%d", c.Trials)
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s | %s | %d |\n",
+			c.Key(), trials, fmtFloat(c.Throughput), fmtFloat(c.MaxBacklog),
+			fmtFloat(c.LatencyP50), fmtFloat(c.LatencyP99), c.ErrorEpochs)
+	}
+	return sb.String()
+}
+
+// CSV renders a Set as CSV, one row per cell in key order.
+func (s *Set) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("cell,trials,throughput,max_backlog,latency_p50,latency_p99,error_epochs\n")
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		trials := ""
+		if c.Trials > 0 {
+			trials = fmt.Sprintf("%d", c.Trials)
+		}
+		fmt.Fprintf(&sb, "%s,%s,%s,%s,%s,%s,%d\n",
+			csvField(c.Key()), trials, fmtFloat(c.Throughput), fmtFloat(c.MaxBacklog),
+			fmtFloat(c.LatencyP50), fmtFloat(c.LatencyP99), c.ErrorEpochs)
+	}
+	return sb.String()
+}

@@ -2,10 +2,12 @@ package report
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 )
 
 // WriteJSON writes v as indented JSON followed by a newline — the
@@ -41,7 +43,27 @@ func SaveJSON(path string, v interface{}) error {
 // either the previous artifact or the new one, never a truncated mix —
 // the invariant the sweep cache and resume layers are built on.  Parent
 // directories are created as needed.
+//
+// SaveFile is atomic against process death but not against power loss:
+// the rename may be journaled before the data blocks reach the disk.
+// Writers whose callers treat a completed write as an acknowledgement
+// (the sweep cell cache, where a worker will never re-execute an acked
+// cell) should use SaveFileDurable instead.
 func SaveFile(path string, data []byte) error {
+	return saveFile(path, data, false)
+}
+
+// SaveFileDurable is SaveFile plus crash consistency: the record file
+// is fsynced before the rename (so the named file can never hold
+// truncated or stale-block content after a power loss) and the parent
+// directory is fsynced after it (so the rename itself — the
+// acknowledgement — survives).  Use it when a completed write is a
+// promise to another machine or a later process, not just an artifact.
+func SaveFileDurable(path string, data []byte) error {
+	return saveFile(path, data, true)
+}
+
+func saveFile(path string, data []byte, durable bool) error {
 	dir := filepath.Dir(path)
 	if dir != "." && dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -63,10 +85,39 @@ func SaveFile(path string, data []byte) error {
 		tmp.Close()
 		return fmt.Errorf("report: %w", err)
 	}
+	if durable {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("report: %w", err)
+		}
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("report: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	if durable {
+		if err := syncDir(dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-completed rename inside it is
+// on disk.  Filesystems that reject directory fsync (some network and
+// FUSE mounts) degrade to SaveFile's process-crash-only guarantee.
+func syncDir(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
 		return fmt.Errorf("report: %w", err)
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/sim"
@@ -30,12 +31,28 @@ type Options struct {
 	// scheduling order.
 	OnCell func(done, total int, cell *CellSummary, cached bool)
 	// Cache, if non-nil, persists every completed cell as a
-	// content-addressed record (one atomic JSON file per cell identity),
-	// so a later Resume run re-executes only what is missing.
-	Cache *cache.Store
+	// content-addressed record keyed by cell identity, so a later Resume
+	// run — or a concurrent work-stealing worker on another machine —
+	// re-executes only what is missing.  A filesystem *cache.Store and an
+	// httpstore.Client are interchangeable here.
+	Cache cache.Backend
 	// Resume loads cells whose records are already in Cache instead of
 	// executing them.  Requires Cache.
 	Resume bool
+
+	// Owner identifies this worker in lease claims (RunWorker only).
+	// Empty derives a process-unique label.  Purely diagnostic: results
+	// never depend on it.
+	Owner string
+	// LeaseTTL bounds how long a claimed-but-unfinished cell stays
+	// unstealable after its worker dies (RunWorker only; 0 =
+	// DefaultLeaseTTL).  It must exceed the worst-case single-cell
+	// execution time, or live workers will duplicate each other's work —
+	// harmlessly (records are content-addressed) but wastefully.
+	LeaseTTL time.Duration
+	// Poll is how long a worker waits between scans when every missing
+	// cell is leased to someone else (RunWorker only; 0 = 100ms).
+	Poll time.Duration
 }
 
 // trialOut carries one trial's result plus the side-channel measurements
@@ -45,16 +62,69 @@ type trialOut struct {
 	errEpochs int64
 }
 
-// cellRecord is the cache-record schema for one completed cell.  The
-// identity fields are re-checked on load: a record whose stored
-// identity, scenario key, or schema version disagrees with what the
-// spec derives is ignored (treated as a miss), never merged.
-type cellRecord struct {
+// CellRecord is the cache-record schema for one completed cell — the
+// unit the shared backend stores and crnquery reads.  The identity
+// fields are re-checked on load: a record whose stored identity,
+// scenario key, or schema version disagrees with what the spec derives
+// is ignored (treated as a miss), never merged.
+type CellRecord struct {
 	SchemaVersion string      `json:"schema_version"`
 	ID            string      `json:"id"`
 	Key           string      `json:"key"`
 	Index         int         `json:"index"`
 	Cell          CellSummary `json:"cell"`
+}
+
+// matches reports whether a loaded record is trustworthy for the given
+// identity and scenario key under the current schema.
+func (r *CellRecord) matches(id, key string) bool {
+	return r.SchemaVersion == SchemaVersion && r.ID == id && r.Key == key
+}
+
+// loadCell fetches and verifies one cell from a backend.  Absent,
+// corrupt, foreign, and stale-schema records are all misses.
+func loadCell(b cache.Backend, id, key string) (CellSummary, bool, error) {
+	var rec CellRecord
+	ok, err := b.Get(id, &rec)
+	if err != nil {
+		return CellSummary{}, false, err
+	}
+	if !ok || !rec.matches(id, key) {
+		return CellSummary{}, false, nil
+	}
+	return rec.Cell, true, nil
+}
+
+// putCell persists one completed cell to a backend.
+func putCell(b cache.Backend, id string, index int, key string, cell CellSummary) error {
+	return b.Put(id, &CellRecord{
+		SchemaVersion: SchemaVersion,
+		ID:            id,
+		Key:           key,
+		Index:         index,
+		Cell:          cell,
+	})
+}
+
+// execCell runs one cell's trials — bounded by parallelism, with the
+// staged engine at the given worker width — and folds them into the
+// cell's summary.  The seeds come from the full grid's flattened seed
+// list, so the summary is bit-identical to what an unsharded run
+// computes for the same cell, whichever scheduling policy asked for it.
+func execCell(spec *Spec, sc Scenario, seeds []uint64, parallelism, workers int) CellSummary {
+	outs := make([]trialOut, len(seeds))
+	sim.RunSeededTrials(seeds, parallelism, func(job int, seed uint64) *sim.Result {
+		var errCount int64
+		proto := spec.buildProtocol(sc, seed^protoSeedSalt, &errCount)
+		cfg := spec.config(sc, seed)
+		if cfg.Workers == 0 {
+			cfg.Workers = workers
+		}
+		res := sim.Run(cfg, proto, spec.buildArrival(sc))
+		outs[job] = trialOut{res: res, errEpochs: errCount}
+		return res
+	})
+	return summarize(sc, outs)
 }
 
 // Run expands the spec and executes every (cell, trial) pair, fanning
@@ -112,10 +182,18 @@ func RunShard(spec Spec, sh Shard, opts Options) (*ShardResult, error) {
 }
 
 // runCells executes (or, under Resume, loads) the selected cells of an
-// expanded grid.  spec must be validated; selected holds ascending
-// positions into cells.  Every trial's seed comes from the full grid's
-// flattened seed list, so any subset executes exactly as it would
-// inside an unsharded, uninterrupted run.
+// expanded grid — the static scheduling policy: the caller decides up
+// front which cells this process owns (a shard's round-robin slice, or
+// the whole grid) and every other cell is someone else's problem.  The
+// work-stealing policy in steal.go instead claims cells from the shared
+// backend at run time; both funnel through the same loadCell / execCell
+// / putCell primitives, so the policies differ only in who executes a
+// cell, never in what the cell contains.
+//
+// spec must be validated; selected holds ascending positions into
+// cells.  Every trial's seed comes from the full grid's flattened seed
+// list, so any subset executes exactly as it would inside an unsharded,
+// uninterrupted run.
 func runCells(spec *Spec, cells []Scenario, selected []int, opts Options) ([]IndexedCell, error) {
 	if opts.Resume && opts.Cache == nil {
 		return nil, fmt.Errorf("sweep: Resume requires a Cache")
@@ -128,16 +206,15 @@ func runCells(spec *Spec, cells []Scenario, selected []int, opts Options) ([]Ind
 		out[si] = IndexedCell{Index: ci, ID: cellID(sc, spec, allSeeds[ci*spec.Trials:(ci+1)*spec.Trials])}
 		hit := false
 		if opts.Resume {
-			var rec cellRecord
-			ok, err := opts.Cache.Get(out[si].ID, &rec)
+			// The identity hash names the record, but trust nothing: a
+			// record is reused only if its stored identity agrees with the
+			// one this spec derives for this cell (loadCell re-checks).
+			cell, ok, err := loadCell(opts.Cache, out[si].ID, sc.Key())
 			if err != nil {
 				return nil, err
 			}
-			// The identity hash names the record file, but trust nothing:
-			// a record is reused only if its stored identity agrees with
-			// the one this spec derives for this cell.
-			if ok && rec.SchemaVersion == SchemaVersion && rec.ID == out[si].ID && rec.Key == sc.Key() {
-				out[si].Cell = rec.Cell
+			if ok {
+				out[si].Cell = cell
 				hit = true
 			}
 		}
@@ -157,14 +234,7 @@ func runCells(spec *Spec, cells []Scenario, selected []int, opts Options) ([]Ind
 		// exclusion, and a slow disk must not serialize cell completion.
 		var putErr error
 		if opts.Cache != nil && !cached {
-			rec := cellRecord{
-				SchemaVersion: SchemaVersion,
-				ID:            out[si].ID,
-				Key:           cells[out[si].Index].Key(),
-				Index:         out[si].Index,
-				Cell:          out[si].Cell,
-			}
-			putErr = opts.Cache.Put(rec.ID, &rec)
+			putErr = putCell(opts.Cache, out[si].ID, out[si].Index, cells[out[si].Index].Key(), out[si].Cell)
 		}
 		progress.Lock()
 		defer progress.Unlock()

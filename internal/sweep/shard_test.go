@@ -309,7 +309,7 @@ func TestResumeIgnoresForeignAndCorruptRecords(t *testing.T) {
 	if err := os.WriteFile(records[0], []byte(`{"schema_version":`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	var rec cellRecord
+	var rec CellRecord
 	id := filepath.Base(records[1])
 	id = id[:len(id)-len(".json")]
 	if ok, err := store.Get(id, &rec); err != nil || !ok {

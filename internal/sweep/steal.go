@@ -1,0 +1,190 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cache"
+)
+
+// DefaultLeaseTTL is the claim lifetime a worker uses when Options
+// leaves LeaseTTL unset.  It trades preemption latency (a dead worker's
+// cells stay unstealable this long) against duplicate work (a cell
+// slower than the TTL gets re-claimed while still running — benign but
+// wasted); two minutes comfortably covers the committed grids' cells.
+const DefaultLeaseTTL = 2 * time.Minute
+
+// defaultPoll is the rescan interval when every missing cell is leased
+// to another worker.
+const defaultPoll = 100 * time.Millisecond
+
+// WorkerResult summarizes one work-stealing worker's participation in
+// draining a grid.  It is a progress report, not a merge artifact: the
+// grid itself is assembled from the shared backend (Assemble), which is
+// what makes workers interchangeable and killable.
+type WorkerResult struct {
+	// Owner is the lease label the worker claimed cells under.
+	Owner string `json:"owner"`
+	// Total is the grid's cell count.
+	Total int `json:"total_cells"`
+	// Executed counts the cells this worker claimed and computed.
+	Executed int `json:"executed"`
+	// Loaded counts the cells this worker found already completed in the
+	// backend (by an earlier run or another worker).
+	Loaded int `json:"loaded"`
+}
+
+// RunWorker drains one grid through the work-stealing scheduling
+// policy: instead of being assigned a static slice of the expansion
+// (the -shard policy), the worker scans the grid for cells whose
+// content-addressed records are missing from the shared backend, claims
+// one with a TTL lease, executes it, and persists the record.  Workers
+// never talk to each other — the backend's records and leases are the
+// entire coordination protocol — so any number of heterogeneous
+// machines can join, leave, or crash mid-run: a dead worker's leases
+// expire and its cells are re-claimed by whoever gets there first.
+//
+// The function returns when every cell of the grid has a valid record
+// in the backend (some computed here, the rest observed), or when ctx
+// is cancelled, or on the first backend error.  Cell identities, trial
+// seeds, skip rules, and summaries are exactly those of sweep.Run —
+// scheduling policy decides who computes a cell, never what it
+// contains — so Assemble over the drained backend is byte-identical to
+// an unsharded run.
+func RunWorker(ctx context.Context, spec Spec, opts Options) (*WorkerResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Cache == nil {
+		return nil, fmt.Errorf("sweep: work-stealing needs a shared Cache backend")
+	}
+	owner := opts.Owner
+	if owner == "" {
+		owner = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	ttl := opts.LeaseTTL
+	if ttl == 0 {
+		ttl = DefaultLeaseTTL
+	}
+	poll := opts.Poll
+	if poll == 0 {
+		poll = defaultPoll
+	}
+
+	cells := spec.Expand()
+	allSeeds := spec.jobSeeds(len(cells))
+	ids := make([]string, len(cells))
+	keys := make([]string, len(cells))
+	for i, sc := range cells {
+		ids[i] = cellID(sc, &spec, allSeeds[i*spec.Trials:(i+1)*spec.Trials])
+		keys[i] = sc.Key()
+	}
+
+	res := &WorkerResult{Owner: owner, Total: len(cells)}
+	done := make([]bool, len(cells))
+	remaining := len(cells)
+	finish := func(i int, cell *CellSummary, cached bool) {
+		done[i] = true
+		remaining--
+		if opts.OnCell != nil {
+			opts.OnCell(len(cells)-remaining, len(cells), cell, cached)
+		}
+	}
+
+	for remaining > 0 {
+		progressed := false
+		for i := range cells {
+			if done[i] {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+			cell, ok, err := loadCell(opts.Cache, ids[i], keys[i])
+			if err != nil {
+				return res, err
+			}
+			if ok {
+				res.Loaded++
+				finish(i, &cell, true)
+				progressed = true
+				continue
+			}
+			claimed, err := opts.Cache.Claim(ids[i], owner, ttl)
+			if err != nil {
+				return res, err
+			}
+			if !claimed {
+				// Another owner holds the lease (or just completed the
+				// cell; the next scan will load it).  Move on — there may
+				// be unclaimed cells further along.
+				continue
+			}
+			// A worker killed here — after the claim, before the record —
+			// is the preemption case: its lease expires after ttl and the
+			// cell is re-claimed by a surviving worker.
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+			summary := execCell(&spec, cells[i], allSeeds[i*spec.Trials:(i+1)*spec.Trials], opts.Parallelism, opts.Workers)
+			if err := putCell(opts.Cache, ids[i], i, keys[i], summary); err != nil {
+				return res, err
+			}
+			res.Executed++
+			finish(i, &summary, false)
+			progressed = true
+		}
+		if remaining > 0 && !progressed {
+			// Every missing cell is leased to another live worker: wait
+			// for their records to land or their leases to expire.
+			select {
+			case <-ctx.Done():
+				return res, ctx.Err()
+			case <-time.After(poll):
+			}
+		}
+	}
+	return res, nil
+}
+
+// Assemble reassembles the full Grid from a backend that workers (or
+// shard runs, or resumed runs — they all share one record namespace)
+// have populated, verifying every cell's content identity against what
+// the spec derives.  It is the work-stealing counterpart of Merge: the
+// returned Grid renders byte-identically to an unsharded Run of the
+// same spec.  Missing cells are an error naming how much of the grid is
+// absent — run more workers, or wait for the ones still going.
+func Assemble(spec Spec, backend cache.Backend) (*Grid, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if backend == nil {
+		return nil, fmt.Errorf("sweep: assemble needs a backend")
+	}
+	cells := spec.Expand()
+	allSeeds := spec.jobSeeds(len(cells))
+	grid := &Grid{Spec: spec, Cells: make([]CellSummary, len(cells))}
+	firstMissing, missing := -1, 0
+	for i, sc := range cells {
+		id := cellID(sc, &spec, allSeeds[i*spec.Trials:(i+1)*spec.Trials])
+		cell, ok, err := loadCell(backend, id, sc.Key())
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			if firstMissing < 0 {
+				firstMissing = i
+			}
+			missing++
+			continue
+		}
+		grid.Cells[i] = cell
+	}
+	if missing > 0 {
+		return nil, fmt.Errorf("sweep: backend holds %d of %d cells; first missing cell %d (%s) — workers still running, or not enough ran",
+			len(cells)-missing, len(cells), firstMissing, cells[firstMissing].Key())
+	}
+	return grid, nil
+}

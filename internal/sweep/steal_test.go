@@ -1,0 +1,272 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cache/httpstore"
+)
+
+// stealOptions are worker options tuned for tests: fast polling so a
+// worker waiting on a neighbor's lease notices quickly.
+func stealOptions(owner string, store cache.Backend) Options {
+	return Options{Cache: store, Owner: owner, LeaseTTL: time.Minute, Poll: 2 * time.Millisecond}
+}
+
+// unshardedJSON is the reference artifact every scheduling policy must
+// reproduce byte-for-byte.
+func unshardedJSON(t *testing.T, spec Spec) []byte {
+	t.Helper()
+	grid, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := grid.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func assembledJSON(t *testing.T, spec Spec, backend cache.Backend) []byte {
+	t.Helper()
+	grid, err := Assemble(spec, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := grid.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestWorkStealingDrainByteIdentical is the tentpole contract (and the
+// race-detector test for N workers over one shared store): concurrent
+// goroutine workers drain one grid through advisory claims, and the
+// assembled Grid is byte-identical to the unsharded sweep.Run output.
+func TestWorkStealingDrainByteIdentical(t *testing.T) {
+	spec := smallSpec()
+	want := unshardedJSON(t, spec)
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	results := make([]*WorkerResult, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			opts := stealOptions([]string{"w1", "w2", "w3", "w4"}[w], store)
+			results[w], errs[w] = RunWorker(context.Background(), spec, opts)
+		}(w)
+	}
+	wg.Wait()
+	executed, loaded := 0, 0
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		executed += results[w].Executed
+		loaded += results[w].Loaded
+	}
+	total := spec.Cells()
+	if executed != total {
+		t.Fatalf("workers executed %d cells in total, want exactly %d (each cell computed once)", executed, total)
+	}
+	for w, r := range results {
+		if r.Executed+r.Loaded != total {
+			t.Fatalf("worker %d observed %d cells, want %d", w, r.Executed+r.Loaded, total)
+		}
+	}
+	if got := assembledJSON(t, spec, store); !bytes.Equal(want, got) {
+		t.Fatal("work-stealing grid differs from the unsharded run")
+	}
+}
+
+// TestWorkerPreemption is the lease-expiry contract: cells claimed by a
+// worker that died mid-lease become stealable once the lease expires,
+// and the re-claimed cells produce the same bytes as everyone else's.
+func TestWorkerPreemption(t *testing.T) {
+	spec := smallSpec()
+	want := unshardedJSON(t, spec)
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A "worker" claims three cells and dies without completing them —
+	// exactly the state RunWorker leaves if killed between Claim and Put.
+	cells := spec.Expand()
+	seeds := spec.jobSeeds(len(cells))
+	for i := 0; i < 3; i++ {
+		id := cellID(cells[i], &spec, seeds[i*spec.Trials:(i+1)*spec.Trials])
+		if ok, err := store.Claim(id, "dead-worker", 30*time.Millisecond); err != nil || !ok {
+			t.Fatalf("dead worker's claim %d = (%v, %v)", i, ok, err)
+		}
+	}
+	// A surviving worker must stall on those cells until the leases
+	// expire, then re-claim and finish the grid alone.
+	res, err := RunWorker(context.Background(), spec, stealOptions("survivor", store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != spec.Cells() {
+		t.Fatalf("survivor executed %d cells, want %d (including the 3 re-claimed)", res.Executed, spec.Cells())
+	}
+	if got := assembledJSON(t, spec, store); !bytes.Equal(want, got) {
+		t.Fatal("grid after preemption differs from the unsharded run")
+	}
+}
+
+// TestWorkerKilledAndRestarted kills a worker mid-run (context
+// cancellation after its second cell) and restarts it: the restarted
+// worker finds its predecessor's records, renews its own still-live
+// leases, completes the rest, and the assembled grid is byte-identical.
+func TestWorkerKilledAndRestarted(t *testing.T) {
+	spec := smallSpec()
+	want := unshardedJSON(t, spec)
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := stealOptions("w1", store)
+	opts.OnCell = func(done, total int, cell *CellSummary, cached bool) {
+		if done == 2 {
+			cancel() // the "kill": the worker dies before its next claim
+		}
+	}
+	res, err := RunWorker(ctx, spec, opts)
+	if err == nil {
+		t.Fatal("killed worker reported success")
+	}
+	if res.Executed < 2 || res.Executed >= spec.Cells() {
+		t.Fatalf("killed worker executed %d cells, want a strict partial run", res.Executed)
+	}
+	// Restart under the same owner: earlier cells load from the store,
+	// the remainder execute, nothing is recomputed.
+	res2, err := RunWorker(context.Background(), spec, stealOptions("w1", store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Loaded != res.Executed || res2.Executed != spec.Cells()-res.Executed {
+		t.Fatalf("restart loaded=%d executed=%d after a %d-cell first life",
+			res2.Loaded, res2.Executed, res.Executed)
+	}
+	if got := assembledJSON(t, spec, store); !bytes.Equal(want, got) {
+		t.Fatal("grid after kill+restart differs from the unsharded run")
+	}
+}
+
+// TestDuplicateCompletionByteIdentical pins the property the whole
+// advisory-lease design leans on: two workers completing the same cell
+// write byte-identical records (same content identity ⇒ same bytes), so
+// last-write-wins cannot corrupt a grid.
+func TestDuplicateCompletionByteIdentical(t *testing.T) {
+	spec := smallSpec()
+	cells := spec.Expand()
+	seeds := spec.jobSeeds(len(cells))
+	sc := cells[0]
+	id := cellID(sc, &spec, seeds[:spec.Trials])
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []byte
+	for attempt := 0; attempt < 2; attempt++ {
+		summary := execCell(&spec, sc, seeds[:spec.Trials], 0, 0)
+		if err := putCell(store, id, 0, sc.Key(), summary); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(store.Path(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attempt == 0 {
+			first = data
+		} else if !bytes.Equal(first, data) {
+			t.Fatal("two completions of one cell identity wrote different bytes")
+		}
+	}
+}
+
+// TestWorkStealingOverHTTPBackend drives two concurrent workers through
+// the HTTP client+server pair — the multi-machine path — and assembles
+// from the underlying filesystem store, proving the two views are one
+// namespace.
+func TestWorkStealingOverHTTPBackend(t *testing.T) {
+	spec := smallSpec()
+	spec.Kappas = []int{8} // halve the grid: HTTP round-trips per cell add up
+	want := unshardedJSON(t, spec)
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(httpstore.NewServer(store))
+	defer srv.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client, err := httpstore.NewClient(srv.URL)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			_, errs[w] = RunWorker(context.Background(), spec, stealOptions([]string{"m1", "m2"}[w], client))
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if got := assembledJSON(t, spec, store); !bytes.Equal(want, got) {
+		t.Fatal("HTTP-backed work-stealing grid differs from the unsharded run")
+	}
+}
+
+func TestRunWorkerRequiresBackend(t *testing.T) {
+	if _, err := RunWorker(context.Background(), smallSpec(), Options{}); err == nil {
+		t.Fatal("RunWorker without a backend accepted")
+	}
+}
+
+func TestAssembleReportsMissingCells(t *testing.T) {
+	spec := smallSpec()
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Assemble(spec, store); err == nil {
+		t.Fatal("assemble of an empty backend succeeded")
+	}
+	// Half-fill via a static shard run into the same namespace, then
+	// assemble: still incomplete, and the error says how incomplete.
+	if _, err := RunShard(spec, Shard{Index: 1, Count: 2}, Options{Cache: store}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Assemble(spec, store); err == nil {
+		t.Fatal("assemble of a half-drained backend succeeded")
+	}
+	// Completing the other half makes assembly whole — shard runs and
+	// workers share one record namespace.
+	if _, err := RunShard(spec, Shard{Index: 2, Count: 2}, Options{Cache: store}); err != nil {
+		t.Fatal(err)
+	}
+	if got := assembledJSON(t, spec, store); !bytes.Equal(unshardedJSON(t, spec), got) {
+		t.Fatal("shard-filled assemble differs from the unsharded run")
+	}
+}
