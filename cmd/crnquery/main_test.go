@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -38,7 +39,7 @@ func writeArtifacts(t *testing.T) (gridPath, benchPath, storeDir string) {
 		Horizon:   300,
 		Seed:      7,
 	}
-	g, err := sweep.Run(spec, sweep.Options{Cache: store})
+	g, err := sweep.Run(context.Background(), spec, sweep.Options{Cache: store})
 	if err != nil {
 		t.Fatal(err)
 	}

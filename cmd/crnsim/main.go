@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	model := flag.String("model", "coded", "channel model: coded, classical, classical:none, classical:binary, classical:ternary, capture")
+	model := flag.String("model", "coded", "channel model descriptor: coded[:K[/W]], classical[:none|binary|ternary], capture[:K]")
 	protoName := flag.String("protocol", "dba", "protocol: dba, beb, aloha, genie, mw, robust, unbounded")
 	kappa := flag.Int("kappa", 64, "decoding threshold κ (coded and capture models; dba needs ≥ 6)")
 	arrivalName := flag.String("arrival", "batch", "arrival process: batch, bernoulli, poisson, even, burst")
@@ -48,16 +48,23 @@ func main() {
 	tracePath := flag.String("trace", "", "write the backlog time series to this CSV file")
 	flag.Parse()
 
+	mspec, err := crn.ParseMedium(*model)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crnsim: %v\n", err)
+		os.Exit(2)
+	}
+	if *protoName == "dba" && mspec.Model != "coded" {
+		fmt.Fprintf(os.Stderr, "crnsim: dba is defined for the coded model (κ ≥ 6); pick -model coded or another protocol\n")
+		os.Exit(2)
+	}
+	// A bare "coded" leaves Medium nil so the engine's defaults (window
+	// cap 4κ) apply; anything else — another model, or a coded descriptor
+	// with embedded parameters — builds the medium explicitly.
 	var med crn.Medium
-	if *model != "coded" {
-		var err error
-		med, err = crn.NewMedium(*model, *kappa, 0)
+	if mspec != (crn.MediumSpec{Model: "coded"}) {
+		med, err = mspec.Build(*kappa, 0)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "crnsim: %v\n", err)
-			os.Exit(2)
-		}
-		if *protoName == "dba" {
-			fmt.Fprintf(os.Stderr, "crnsim: dba is defined for the coded model (κ ≥ 6); pick -model coded or another protocol\n")
 			os.Exit(2)
 		}
 		*kappa = med.Kappa()

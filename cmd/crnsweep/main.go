@@ -241,8 +241,13 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		opts.Cache = store
 	}
 
+	// Ctrl-C (or a coordinator's SIGTERM) cancels the run between cells
+	// (between trials for in-process runs); completed cells stay cached.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *assemble {
-		grid, err := sweep.Assemble(spec, opts.Cache)
+		grid, err := sweep.Assemble(ctx, spec, opts.Cache)
 		if err != nil {
 			return err
 		}
@@ -279,10 +284,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	if *worker {
 		opts.Owner = *owner
 		opts.LeaseTTL = *leaseTTL
-		// Ctrl-C (or a coordinator's SIGTERM) stops the worker between
-		// cells; its unexpired leases become stealable when they lapse.
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-		defer stop()
+		// A stopped worker's unexpired leases become stealable once they
+		// lapse.
 		res, err := sweep.RunWorker(ctx, spec, opts)
 		if err != nil {
 			return err
@@ -299,7 +302,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	stdoutTaken := *jsonPath == "-" || *csvPath == "-"
 
 	if sharded {
-		res, err := sweep.RunShard(spec, shard, opts)
+		res, err := sweep.RunShard(ctx, spec, shard, opts)
 		if err != nil {
 			return err
 		}
@@ -324,7 +327,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
-	grid, err := sweep.Run(spec, opts)
+	grid, err := sweep.Run(ctx, spec, opts)
 	if err != nil {
 		return err
 	}

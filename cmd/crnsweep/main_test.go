@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -99,7 +100,7 @@ func TestPositionalArgsOutsideMergeRejected(t *testing.T) {
 // writeShard runs one shard in-process and saves its artifact.
 func writeShard(t *testing.T, spec sweep.Spec, k, n int, path string) {
 	t.Helper()
-	res, err := sweep.RunShard(spec, sweep.Shard{Index: k, Count: n}, sweep.Options{})
+	res, err := sweep.RunShard(context.Background(), spec, sweep.Shard{Index: k, Count: n}, sweep.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

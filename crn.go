@@ -11,6 +11,7 @@ import (
 	"repro/internal/cache/httpstore"
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/emu"
 	"repro/internal/jam"
 	"repro/internal/medium"
 	"repro/internal/nocd"
@@ -89,9 +90,27 @@ func NewChannel(kappa, maxWindow int) *Channel { return channel.New(kappa, maxWi
 // Medium is the base-station side of any channel model: the engine
 // drives it slot by slot and forwards its feedback to the protocol.
 // Config.Medium selects one (nil = the coded channel built from
-// Config.Kappa/MaxWindow); see NewCodedMedium, NewClassicalMedium,
-// NewJammedMedium, and NewMedium.
+// Config.Kappa/MaxWindow); see ParseMedium and MediumSpec.Build.
 type Medium = medium.Medium
+
+// MediumSpec is the parsed form of a channel-model descriptor — the one
+// canonical currency the CLIs, sweep expansion, and the emulator resolve
+// media through.  Zero-valued Kappa/MaxWindow fields mean "from
+// context": Build fills them from its arguments.  String returns the
+// canonical descriptor and ParseMedium round-trips it.
+type MediumSpec = medium.Spec
+
+// ParseMedium parses a channel-model descriptor:
+//
+//	coded[:K[/W]]                    the paper's κ-threshold channel
+//	classical[:none|binary|ternary]  the collision channel (default ternary)
+//	capture[:K]                      the high-SNR capture channel
+//
+// Build the resulting spec to obtain a Medium:
+//
+//	spec, err := crn.ParseMedium("coded:64")
+//	med, err := spec.Build(0, 0)
+func ParseMedium(desc string) (MediumSpec, error) { return medium.ParseSpec(desc) }
 
 // CollisionDetection selects the feedback a classical medium gives its
 // devices: CDNone (no channel sensing), CDBinary (busy/idle carrier
@@ -105,24 +124,35 @@ const (
 	CDTernary = medium.CDTernary
 )
 
-// ModelNames lists the channel-model descriptors NewMedium accepts, in
-// canonical order.
+// ModelNames lists the canonical channel-model descriptors, in
+// canonical order; ParseMedium accepts these plus parametrized forms
+// (coded:K, coded:K/W, capture:K).
 var ModelNames = medium.Models
 
 // NewMedium constructs a channel medium from a model descriptor such as
 // "coded", "classical", or "classical:none".  kappa and maxWindow
 // parametrize the coded model and are ignored by classical ones.
+//
+// Deprecated: Use ParseMedium followed by MediumSpec.Build, which
+// separates descriptor validation from construction and supports the
+// full parametrized grammar.
 func NewMedium(model string, kappa, maxWindow int) (Medium, error) {
 	return medium.New(model, kappa, maxWindow)
 }
 
 // NewCodedMedium returns the paper's coded κ-threshold channel as a
 // Medium (maxWindow 0 = unbounded decoding windows).
+//
+// Deprecated: Use ParseMedium("coded") (or "coded:K/W") and
+// MediumSpec.Build.
 func NewCodedMedium(kappa, maxWindow int) Medium { return medium.NewCoded(kappa, maxWindow) }
 
 // NewClassicalMedium returns the classical collision channel (κ = 1
 // semantics: a slot delivers its packet iff exactly one device
 // transmits) with the given collision-detection feedback.
+//
+// Deprecated: Use ParseMedium("classical:none|binary|ternary") and
+// MediumSpec.Build.
 func NewClassicalMedium(cd CollisionDetection) Medium { return medium.NewClassical(cd) }
 
 // NewCaptureMedium returns the high-SNR capture channel: a slot
@@ -130,11 +160,17 @@ func NewClassicalMedium(cd CollisionDetection) Medium { return medium.NewClassic
 // decoding in the spirit of bounded-contention coding), and one
 // transmission too many destroys the slot.  At κ = 1 it coincides with
 // the classical collision channel.
+//
+// Deprecated: Use ParseMedium("capture:K") and MediumSpec.Build.
 func NewCaptureMedium(kappa int) Medium { return medium.NewCapture(kappa) }
 
 // NewJammedMedium composes a jammer over any medium: jammed slots are
 // spoiled before the inner medium sees them.  Jam decisions are
 // slot-keyed from seed, so they are independent of stepping history.
+//
+// Deprecated: Set Config.Jammer (the engine composes it over
+// Config.Medium with the run's derived seed) instead of pre-composing
+// the medium; jamming is a run property, not a channel model.
 func NewJammedMedium(inner Medium, j Jammer, seed uint64) Medium {
 	return medium.Jam(inner, j, seed)
 }
@@ -385,15 +421,18 @@ func ParseSweepShard(desc string) (SweepShard, error) { return sweep.ParseShard(
 // spec + same seed ⇒ byte-identical artifacts at any parallelism, and —
 // with a cache in opts — across interruptions (completed cells resume
 // from their records).
-func RunSweep(spec SweepSpec, opts SweepOptions) (*SweepGrid, error) {
-	return sweep.Run(spec, opts)
+// Cancel ctx to stop early: in-flight trials finish (completed cells
+// stay cached under opts.Cache), then the context's error is returned.
+func RunSweep(ctx context.Context, spec SweepSpec, opts SweepOptions) (*SweepGrid, error) {
+	return sweep.Run(ctx, spec, opts)
 }
 
 // RunSweepShard executes one balanced slice of the spec's grid, seeding
 // each trial exactly as an unsharded run would, and returns the shard
 // artifact MergeSweepShards reassembles.
-func RunSweepShard(spec SweepSpec, sh SweepShard, opts SweepOptions) (*SweepShardResult, error) {
-	return sweep.RunShard(spec, sh, opts)
+// Cancellation follows RunSweep's contract.
+func RunSweepShard(ctx context.Context, spec SweepSpec, sh SweepShard, opts SweepOptions) (*SweepShardResult, error) {
+	return sweep.RunShard(ctx, spec, sh, opts)
 }
 
 // MergeSweepShards reassembles shard artifacts into the full grid,
@@ -434,8 +473,9 @@ func RunSweepWorker(ctx context.Context, spec SweepSpec, opts SweepOptions) (*Sw
 // AssembleSweep reads the full grid back from a drained backend,
 // verifying every record against the identity the spec derives for its
 // position; the result is byte-identical to an unsharded RunSweep.
-func AssembleSweep(spec SweepSpec, backend SweepBackend) (*SweepGrid, error) {
-	return sweep.Assemble(spec, backend)
+// Cancel ctx to stop between cells.
+func AssembleSweep(ctx context.Context, spec SweepSpec, backend SweepBackend) (*SweepGrid, error) {
+	return sweep.Assemble(ctx, spec, backend)
 }
 
 // NewSweepHTTPBackend returns a SweepBackend speaking to a crnserve
@@ -460,4 +500,30 @@ func TheoremMinWindow(kappa int) int64 { return potential.TheoremMinWindow(kappa
 // minimum active joining probability pMin.
 func Potential(kappa, n, m int, c, pMin float64) float64 {
 	return potential.Compute(kappa, n, m, c, pMin).Total()
+}
+
+// EmuConfig parametrizes a slot-synchronized real-network emulation
+// run: the scenario axes of a simulation (protocol, medium descriptor,
+// arrival, adversary, horizon, seed) plus the station topology and
+// transport ("inproc" goroutine swarm or loopback "udp" with optional
+// fault injection).  See internal/emu and cmd/crnemu.
+type EmuConfig = emu.Config
+
+// EmuFault is the deterministic datagram fault plan (drop/duplicate
+// probabilities and seed) for lossy-UDP emulation regimes.
+type EmuFault = emu.Fault
+
+// EmuResult is one emulation run's outcome: the engine Result — byte-
+// identical to the simulator's over a lossless transport — plus the
+// per-station transport statistics (frames, bytes, retransmits, RTT).
+type EmuResult = emu.Result
+
+// RunEmulation executes one swarm-mode emulation: cfg.Stations station
+// replicas over the configured transport, coordinated in-process, each
+// slot adjudicated on the same channel medium the simulator uses.
+// Over a lossless transport the returned Result.Sim is byte-identical
+// to Run on the identical configuration.  Cancel ctx to abort between
+// slots.
+func RunEmulation(ctx context.Context, cfg EmuConfig) (*EmuResult, error) {
+	return emu.Run(ctx, cfg)
 }

@@ -1,6 +1,7 @@
 package crn
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -267,7 +268,7 @@ func TestSweepFacadeShardResumeMerge(t *testing.T) {
 		Kappas: []int{4, 8}, Rates: []float64{0.5},
 		Trials: 1, Horizon: 200, Seed: 5,
 	}
-	grid, err := RunSweep(spec, SweepOptions{})
+	grid, err := RunSweep(context.Background(), spec, SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestSweepFacadeShardResumeMerge(t *testing.T) {
 	}
 	var shards []*SweepShardResult
 	for _, sh := range []SweepShard{sh, {Index: 2, Count: 2}} {
-		res, err := RunSweepShard(spec, sh, SweepOptions{Cache: store})
+		res, err := RunSweepShard(context.Background(), spec, sh, SweepOptions{Cache: store})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -305,7 +306,7 @@ func TestSweepFacadeShardResumeMerge(t *testing.T) {
 	}
 
 	executed := 0
-	resumed, err := RunSweep(spec, SweepOptions{Cache: store, Resume: true,
+	resumed, err := RunSweep(context.Background(), spec, SweepOptions{Cache: store, Resume: true,
 		OnCell: func(done, total int, cell *sweep.CellSummary, cached bool) {
 			if !cached {
 				executed++

@@ -25,6 +25,10 @@
 //     run via Config.Adversary and swept as a grid axis;
 //   - a deterministic discrete-round simulation engine with a parallel
 //     multi-trial runner;
+//   - a slot-synchronized real-network emulation engine (internal/emu,
+//     cmd/crnemu): stations as goroutines or OS processes speaking a
+//     framed wire protocol over in-proc or reliable-UDP transports,
+//     byte-identical to the simulator over a lossless link;
 //   - a declarative scenario-sweep subsystem (internal/sweep) that
 //     expands model × protocol × arrival × κ × rate × jammer × adversary
 //     grids and executes every cell's trials in parallel;
@@ -50,7 +54,39 @@
 //	    Medium: crn.NewClassicalMedium(crn.CDTernary)},
 //	    crn.NewExponentialBackoff(1), crn.NewBatch(1000))
 //
-// cmd/crnsim accepts the same choice as -model.
+// The canonical way to name a channel model is the medium-descriptor
+// grammar shared by every command's -model/-models flag and by sweep
+// specs:
+//
+//	coded[:K[/W]] | classical[:none|binary|ternary] | capture[:K]
+//
+// ParseMedium parses a descriptor into a MediumSpec; MediumSpec.String
+// round-trips the canonical form and MediumSpec.Build constructs the
+// medium. The positional constructors above (NewCodedMedium,
+// NewClassicalMedium, NewCaptureMedium, NewJammedMedium) are
+// deprecated wrappers over this path and are retained for
+// compatibility only.
+//
+// # Real-network emulation
+//
+// RunEmulation runs a scenario with every station a separate goroutine
+// (or, via cmd/crnemu's -listen/-join, a separate OS process),
+// synchronized slot by slot over a framed wire protocol — in-proc
+// pipes, or real UDP under a reliable retransmitting layer with
+// optional fault injection (EmuFault). Over a lossless transport the
+// emulation's Result is byte-identical to the simulator's; see
+// DESIGN.md §11:
+//
+//	res, err := crn.RunEmulation(ctx, crn.EmuConfig{
+//	    Protocol: "dba", Kappa: 8,
+//	    Arrival: "batch", BatchN: 2000, Horizon: 1, Drain: true,
+//	    Seed: 1, Stations: 4, Transport: "udp",
+//	})
+//
+// The long-running entry points — RunSweep, RunSweepShard,
+// RunSweepWorker, AssembleSweep, RunEmulation — take a
+// context.Context; cancellation lands between trials, cells, or slots,
+// and completed sweep cells stay cached.
 //
 // # Scenario sweeps
 //

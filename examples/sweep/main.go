@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -30,7 +31,7 @@ func main() {
 		Horizon:   20000,
 		Seed:      2022,
 	}
-	grid, err := sweep.Run(spec, sweep.Options{})
+	grid, err := sweep.Run(context.Background(), spec, sweep.Options{})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)

@@ -169,20 +169,14 @@ func MasksSilence(m Medium) bool {
 	return ok && msk.MasksSilence()
 }
 
-// New constructs a medium from a model descriptor.  kappa and maxWindow
-// parametrize the coded model and are ignored by classical ones.
+// New constructs a medium from a model descriptor — ParseSpec followed
+// by Build.  kappa and maxWindow supply context defaults for the coded
+// and capture models when the descriptor embeds none; classical models
+// ignore them.
 func New(desc string, kappa, maxWindow int) (Medium, error) {
-	switch desc {
-	case "", "coded":
-		return NewCoded(kappa, maxWindow), nil
-	case "classical", "classical:ternary":
-		return NewClassical(CDTernary), nil
-	case "classical:binary":
-		return NewClassical(CDBinary), nil
-	case "classical:none":
-		return NewClassical(CDNone), nil
-	case "capture":
-		return NewCapture(kappa), nil
+	s, err := ParseSpec(desc)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("medium: unknown channel model %q (want coded, classical, classical:none, classical:binary, classical:ternary, or capture)", desc)
+	return s.Build(kappa, maxWindow)
 }

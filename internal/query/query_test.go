@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"math"
 	"net/http/httptest"
 	"os"
@@ -36,7 +37,7 @@ func specCells() int {
 func runSmallGrid(t *testing.T) *sweep.Grid {
 	t.Helper()
 	spec := smallSpec()
-	g, err := sweep.Run(spec, sweep.Options{})
+	g, err := sweep.Run(context.Background(), spec, sweep.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestLoadSniffsGridStoreAndHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	spec := smallSpec()
-	g, err := sweep.Run(spec, sweep.Options{Cache: store})
+	g, err := sweep.Run(context.Background(), spec, sweep.Options{Cache: store})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestLoadStoreSkipsDamage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sweep.Run(smallSpec(), sweep.Options{Cache: store}); err != nil {
+	if _, err := sweep.Run(context.Background(), smallSpec(), sweep.Options{Cache: store}); err != nil {
 		t.Fatal(err)
 	}
 	ids, err := store.List()
@@ -236,7 +237,7 @@ func TestDiffDeterministicAndByteStable(t *testing.T) {
 	g := runSmallGrid(t)
 	a := FromGrid(g, "a")
 	// Mutate one cell and drop another to exercise every diff bucket.
-	g2, err := sweep.Run(smallSpec(), sweep.Options{})
+	g2, err := sweep.Run(context.Background(), smallSpec(), sweep.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,12 +302,12 @@ func TestFromBackendRejectsMixedSpecs(t *testing.T) {
 		t.Fatal(err)
 	}
 	spec := smallSpec()
-	if _, err := sweep.Run(spec, sweep.Options{Cache: store}); err != nil {
+	if _, err := sweep.Run(context.Background(), spec, sweep.Options{Cache: store}); err != nil {
 		t.Fatal(err)
 	}
 	// Same scenarios, different horizon: same keys, different identities.
 	spec.Horizon = 600
-	if _, err := sweep.Run(spec, sweep.Options{Cache: store}); err != nil {
+	if _, err := sweep.Run(context.Background(), spec, sweep.Options{Cache: store}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := FromBackend(store, "mixed"); err == nil {

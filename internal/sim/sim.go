@@ -22,7 +22,6 @@ import (
 	"repro/internal/jam"
 	"repro/internal/medium"
 	"repro/internal/protocol"
-	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
@@ -241,87 +240,13 @@ func (f *inflight) take(id channel.PacketID) int64 {
 	return slot
 }
 
-// Run simulates one execution.
+// Run simulates one execution: the Loop adjudicates each slot (medium
+// composition, arrivals, feedback, accounting, fast-forward) while Run
+// executes the protocol through the serial or staged stepper.
 func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
-	if cfg.Medium == nil && cfg.Kappa < 1 {
-		panic("sim: Kappa must be at least 1")
-	}
-	if cfg.Horizon < 0 {
-		panic("sim: negative horizon")
-	}
-	m := cfg.Medium
-	if m == nil {
-		m = medium.NewCoded(cfg.Kappa, cfg.maxWindow())
-	}
-	m = medium.Jam(m, cfg.Jammer, cfg.Seed^jamSeedSalt)
-	if cfg.Adversary != nil {
-		if _, adaptive := cfg.Adversary.(adversary.Adaptive); adaptive && medium.MasksSilence(m) {
-			// An adaptive adversary's gap-equals-silence rule needs the
-			// medium below it to report idle slots truthfully.  The
-			// composed m is checked, so this catches classical:none, a
-			// legacy Config.Jammer (just composed above), and media the
-			// caller pre-wrapped with a jammer: in each case idle slots
-			// a fast-forwarded run skips as silent would, densely
-			// stepped, be observed as busy, and the adaptive state would
-			// depend on the stepping.
-			panic("sim: an adaptive Adversary needs a medium whose feedback exposes idle slots truthfully (classical:none masks silence; jam wrappers spoil idle slots) — the gap-equals-silence contract cannot hold")
-		}
-		// One adversary may disrupt on both channels: jam composition
-		// wraps the medium, arrival composition merges injections.
-		aj, jams := cfg.Adversary.(adversary.Jammer)
-		if jams {
-			m = medium.JamAdversary(m, aj, cfg.Seed^advSeedSalt)
-		}
-		if inj, ok := cfg.Adversary.(adversary.Injector); ok {
-			advArr := adversary.Arrivals(inj)
-			if jams {
-				// The jam wrapper already delivers each stepped slot's
-				// feedback to Observe; forwarding it through the arrival
-				// path too would observe every slot twice.
-				advArr = adversary.MutedArrivals(inj)
-			}
-			arr = &arrival.Merge{A: arr, B: advArr}
-		}
-	}
-	r := rng.New(cfg.Seed)
-	seriesCap := cfg.SeriesCap
-	if seriesCap == 0 {
-		seriesCap = 2048
-	}
-	var latSample *stats.Reservoir
-	if cfg.LatencySamples >= 0 {
-		latCap := cfg.LatencySamples
-		if latCap == 0 {
-			latCap = DefaultLatencySamples
-		}
-		latSample = stats.NewReservoir(latCap, cfg.Seed^latSeedSalt)
-	}
-	res := &Result{
-		Protocol:      proto.Name(),
-		Arrival:       arr.Name(),
-		Medium:        m.Name(),
-		Kappa:         m.Kappa(),
-		Horizon:       cfg.Horizon,
-		FirstArrival:  -1,
-		LastDelivery:  -1,
-		BacklogSeries: stats.NewSeries(seriesCap),
-		LatencySample: latSample,
-	}
-	drainLimit := cfg.DrainLimit
-	if drainLimit == 0 {
-		drainLimit = 16 * cfg.Horizon
-		if drainLimit < 1<<20 {
-			drainLimit = 1 << 20
-		}
-	} else if drainLimit < 0 {
-		// A negative limit always meant "no drain budget" (the phase ended
-		// at the horizon); normalize so the fast-forward clamp below can
-		// never pin `next` at or before `now`.
-		drainLimit = 0
-	}
-	end := cfg.Horizon
+	l := NewLoop(cfg, proto.Name(), arr)
+	m := l.Medium()
 	st := newStepper(cfg.Workers, proto)
-	observer, hasObserver := arr.(arrival.Observer)
 
 	// Event-driven fast-forward through runs of identical bad slots:
 	// when a slot classifies Bad and the protocol guarantees its
@@ -333,34 +258,11 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 	rep, _ := m.(medium.Repeater)
 	coastEnd := int64(-1)
 
-	var nextID channel.PacketID
-	fl := newInflight() // inject time per in-flight packet, for latency
-	idBuf := make([]channel.PacketID, 0, 64)
-	var fb medium.Feedback // reused across slots; the medium fills it
-
-	for now := int64(0); ; {
-		if now >= end {
-			if !cfg.Drain || st.pending() == 0 || now >= cfg.Horizon+drainLimit {
-				res.Elapsed = now
-				break
-			}
-		}
+	for l.Running(st.pending()) {
+		now := l.Now()
 		// Arrivals (only before the horizon).
-		if now < cfg.Horizon {
-			n := arr.Injections(now, r)
-			if n > 0 {
-				idBuf = idBuf[:0]
-				for i := 0; i < n; i++ {
-					idBuf = append(idBuf, nextID)
-					fl.add(nextID, now)
-					nextID++
-				}
-				proto.Inject(now, idBuf)
-				res.Arrivals += int64(n)
-				if res.FirstArrival < 0 {
-					res.FirstArrival = now
-				}
-			}
+		if ids := l.InjectNow(); len(ids) > 0 {
+			proto.Inject(now, ids)
 		}
 		// One channel slot: prepare + transmit-collect and the medium step
 		// (or an O(1) replay while coasting through repeated bad slots),
@@ -372,27 +274,9 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 		} else {
 			class, ev = st.step(now, m)
 		}
-		m.Feedback(&fb)
-		st.observe(fb)
-		if hasObserver {
-			observer.ObserveSlot(fb)
-		}
-		if ev != nil {
-			res.Delivered += int64(len(ev.Packets))
-			res.LastDelivery = now
-			for _, id := range ev.Packets {
-				lat := float64(now - fl.take(id) + 1)
-				res.Latency.Add(lat)
-				if latSample != nil {
-					latSample.Add(lat)
-				}
-			}
-		}
+		st.observe(l.Observe(ev))
 		backlog := st.pending()
-		if backlog > res.MaxBacklog {
-			res.MaxBacklog = backlog
-		}
-		res.BacklogSeries.Add(now, float64(backlog))
+		l.Record(backlog)
 
 		// Arm (or re-arm) the coast.  Checked after the slot's observe so
 		// the protocol's epoch state is current; any non-Bad slot kills the
@@ -403,51 +287,17 @@ func Run(cfg Config, proto protocol.Protocol, arr arrival.Process) *Result {
 			coastEnd = now
 		}
 
-		// Advance, fast-forwarding when provably nothing happens.
-		next := now + 1
-		if backlog == 0 {
-			na := int64(-1)
-			if now+1 < cfg.Horizon {
-				na = arr.NextAfter(now)
-			}
-			if na < 0 {
-				// Nothing pending and no arrivals will ever come.
-				res.Elapsed = now + 1
-				return finish(res, m, proto, fl)
-			}
-			next = na
-		} else if coastEnd <= now && st.hasWaker() {
-			nw := st.nextWake(now)
-			if nw > now+1 {
-				next = nw
-				if now+1 < cfg.Horizon {
-					if na := arr.NextAfter(now); na >= 0 && na < next {
-						next = na
-					}
-				}
-			}
+		// Advance, fast-forwarding when provably nothing happens; the
+		// protocol's wake declaration only counts while not coasting.
+		var wake func(int64) int64
+		if coastEnd <= now && st.hasWaker() {
+			wake = st.nextWake
 		}
-		if now < end && next > end {
-			next = end
-		} else if cfg.Drain && next > end+drainLimit {
-			// A Waker may declare a wake-up far past the drain budget; the
-			// fast-forward target must still respect the documented
-			// Horizon+DrainLimit bound on Elapsed and silent-slot counts.
-			next = end + drainLimit
+		if !l.Advance(backlog, wake) {
+			break
 		}
-		if skipped := next - (now + 1); skipped > 0 {
-			m.AddSilent(skipped)
-		}
-		now = next
 	}
-	return finish(res, m, proto, fl)
-}
-
-func finish(res *Result, m medium.Medium, proto protocol.Protocol, fl *inflight) *Result {
-	res.Pending = proto.Pending()
-	res.PeakInFlight = fl.peak
-	res.Channel = m.Stats()
-	return res
+	return l.Finish(st.pending())
 }
 
 // String summarizes the result in one line.

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -135,7 +136,7 @@ func TestRunNewAxesGridDeterministic(t *testing.T) {
 		Seed:      23,
 	}
 	render := func(par int) []byte {
-		grid, err := Run(s, Options{Parallelism: par})
+		grid, err := Run(context.Background(), s, Options{Parallelism: par})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -169,7 +170,7 @@ func TestRunNewAxesGridDeterministic(t *testing.T) {
 	if !bytes.Equal(serial, mergedJSON) {
 		t.Fatal("4-shard merge differs from the unsharded new-axes artifact")
 	}
-	grid, err := Run(s, Options{})
+	grid, err := Run(context.Background(), s, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -133,13 +134,15 @@ func execCell(spec *Spec, sc Scenario, seeds []uint64, parallelism, workers int)
 // order, so the resulting Grid is identical for any parallelism — and,
 // with Options.Cache/Resume, for any interruption point: completed
 // cells are re-loaded, missing ones re-executed, and the artifact is
-// byte-identical to an uninterrupted run.
-func Run(spec Spec, opts Options) (*Grid, error) {
+// byte-identical to an uninterrupted run.  Cancel ctx to stop early:
+// in-flight trials finish (and completed cells stay cached), then Run
+// returns the context's error.
+func Run(ctx context.Context, spec Spec, opts Options) (*Grid, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	cells := spec.Expand()
-	out, err := runCells(&spec, cells, Shard{}.Indices(len(cells)), opts)
+	out, err := runCells(ctx, &spec, cells, Shard{}.Indices(len(cells)), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -154,8 +157,9 @@ func Run(spec Spec, opts Options) (*Grid, error) {
 // sh.Indices selects from the canonical expansion — seeding each trial
 // exactly as an unsharded run would, and returns the shard artifact
 // Merge reassembles.  Options.Cache/Resume apply per cell, so shards
-// and resumed runs share one cache.
-func RunShard(spec Spec, sh Shard, opts Options) (*ShardResult, error) {
+// and resumed runs share one cache.  Cancellation follows Run's
+// contract.
+func RunShard(ctx context.Context, spec Spec, sh Shard, opts Options) (*ShardResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -167,7 +171,7 @@ func RunShard(spec Spec, sh Shard, opts Options) (*ShardResult, error) {
 		return nil, err
 	}
 	cells := spec.Expand()
-	out, err := runCells(&spec, cells, sh.Indices(len(cells)), opts)
+	out, err := runCells(ctx, &spec, cells, sh.Indices(len(cells)), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +198,7 @@ func RunShard(spec Spec, sh Shard, opts Options) (*ShardResult, error) {
 // cells.  Every trial's seed comes from the full grid's flattened seed
 // list, so any subset executes exactly as it would inside an unsharded,
 // uninterrupted run.
-func runCells(spec *Spec, cells []Scenario, selected []int, opts Options) ([]IndexedCell, error) {
+func runCells(ctx context.Context, spec *Spec, cells []Scenario, selected []int, opts Options) ([]IndexedCell, error) {
 	if opts.Resume && opts.Cache == nil {
 		return nil, fmt.Errorf("sweep: Resume requires a Cache")
 	}
@@ -202,6 +206,9 @@ func runCells(spec *Spec, cells []Scenario, selected []int, opts Options) ([]Ind
 	out := make([]IndexedCell, len(selected))
 	var pending []int // positions in selected that need execution
 	for si, ci := range selected {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sc := cells[ci]
 		out[si] = IndexedCell{Index: ci, ID: cellID(sc, spec, allSeeds[ci*spec.Trials:(ci+1)*spec.Trials])}
 		hit := false
@@ -273,6 +280,12 @@ func runCells(spec *Spec, cells []Scenario, selected []int, opts Options) ([]Ind
 			remaining[i] = int32(spec.Trials)
 		}
 		sim.RunSeededTrials(jobSeeds, opts.Parallelism, func(job int, seed uint64) *sim.Result {
+			// Cancellation is between trials: an in-flight trial always
+			// finishes (so its cell can complete and persist), but no new
+			// trial starts once ctx is done.
+			if ctx.Err() != nil {
+				return nil
+			}
 			p := job / spec.Trials
 			si := pending[p]
 			sc := cells[out[si].Index]
@@ -293,6 +306,9 @@ func runCells(spec *Spec, cells []Scenario, selected []int, opts Options) ([]Ind
 	}
 	if progress.saveErr != nil {
 		return nil, progress.saveErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

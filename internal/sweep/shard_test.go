@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -90,7 +91,7 @@ func mergedArtifacts(t *testing.T, spec Spec, n, parallelism int) (jsonOut, csvO
 	t.Helper()
 	var shards []*ShardResult
 	for k := n; k >= 1; k-- {
-		res, err := RunShard(spec, Shard{Index: k, Count: n}, Options{Parallelism: parallelism})
+		res, err := RunShard(context.Background(), spec, Shard{Index: k, Count: n}, Options{Parallelism: parallelism})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -124,7 +125,7 @@ func TestShardedMergeByteIdentical(t *testing.T) {
 	// so the skip rules are live during partitioning.
 	spec := adversarialSpec()
 	spec.Models = []string{"coded", "classical:ternary"}
-	grid, err := Run(spec, Options{})
+	grid, err := Run(context.Background(), spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,11 +147,11 @@ func TestShardedMergeByteIdentical(t *testing.T) {
 
 func TestRunShardMatchesUnshardedCells(t *testing.T) {
 	spec := smallSpec()
-	grid, err := Run(spec, Options{})
+	grid, err := Run(context.Background(), spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunShard(spec, Shard{Index: 2, Count: 3}, Options{})
+	res, err := RunShard(context.Background(), spec, Shard{Index: 2, Count: 3}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestRunShardMatchesUnshardedCells(t *testing.T) {
 func TestMergeRejects(t *testing.T) {
 	spec := smallSpec()
 	shardOf := func(sp Spec, k, n int) *ShardResult {
-		res, err := RunShard(sp, Shard{Index: k, Count: n}, Options{})
+		res, err := RunShard(context.Background(), sp, Shard{Index: k, Count: n}, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -230,7 +231,7 @@ func TestMergeRejects(t *testing.T) {
 // how many cells were executed vs loaded.
 func runCounting(t *testing.T, spec Spec, store *cache.Store, resume bool) (data []byte, executed, cached int) {
 	t.Helper()
-	grid, err := Run(spec, Options{
+	grid, err := Run(context.Background(), spec, Options{
 		Cache:  store,
 		Resume: resume,
 		OnCell: func(done, total int, cell *CellSummary, fromCache bool) {
@@ -330,7 +331,7 @@ func TestResumeIgnoresForeignAndCorruptRecords(t *testing.T) {
 }
 
 func TestResumeRequiresCache(t *testing.T) {
-	if _, err := Run(smallSpec(), Options{Resume: true}); err == nil {
+	if _, err := Run(context.Background(), smallSpec(), Options{Resume: true}); err == nil {
 		t.Fatal("Resume without a Cache accepted")
 	}
 }
@@ -344,7 +345,7 @@ func TestShardsShareOneCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunShard(spec, Shard{Index: 1, Count: 2}, Options{Cache: store})
+	res, err := RunShard(context.Background(), spec, Shard{Index: 1, Count: 2}, Options{Cache: store})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -167,9 +167,16 @@ func (s *Spec) Validate() error {
 	}
 	hasCoded := false
 	for _, m := range s.Models {
-		if !contains(Models, m) {
+		ms, err := medium.ParseSpec(m)
+		if err != nil {
 			return fmt.Errorf("sweep: unknown model %q (want one of %s)",
 				m, strings.Join(Models, ", "))
+		}
+		if ms.Kappa != 0 || ms.MaxWindow != 0 {
+			// κ is a sweep axis and the window cap a spec field; a
+			// parametrized descriptor would smuggle either into the model
+			// coordinate and silently fork cell identities.
+			return fmt.Errorf("sweep: model %q embeds parameters; use the kappas axis and max_window field instead", m)
 		}
 		// The capture model shares the coded channel's κ-ary decoding
 		// power but not its cross-slot windows; dba's κ ≥ 6 requirement

@@ -20,6 +20,11 @@ const DefaultLeaseTTL = 2 * time.Minute
 // to another worker.
 const defaultPoll = 100 * time.Millisecond
 
+// execDelay is a test hook run after a cell is claimed and before it is
+// executed (deliberately slow cells for lease-renewal tests).  Always
+// nil outside tests.
+var execDelay func(owner string, cell int)
+
 // WorkerResult summarizes one work-stealing worker's participation in
 // draining a grid.  It is a progress report, not a merge artifact: the
 // grid itself is assembled from the shared backend (Assemble), which is
@@ -128,8 +133,31 @@ func RunWorker(ctx context.Context, spec Spec, opts Options) (*WorkerResult, err
 			if err := ctx.Err(); err != nil {
 				return res, err
 			}
+			// A cell slower than the TTL must not look dead: re-claim (the
+			// backend extends a holder's own lease) at half the TTL until
+			// the record lands.  Renewal failures are deliberately ignored —
+			// losing the lease costs at worst a duplicate execution, which
+			// content-addressed records absorb.
+			stopRenew := make(chan struct{})
+			go func(id string) {
+				t := time.NewTicker(ttl / 2)
+				defer t.Stop()
+				for {
+					select {
+					case <-stopRenew:
+						return
+					case <-t.C:
+						_, _ = opts.Cache.Claim(id, owner, ttl)
+					}
+				}
+			}(ids[i])
+			if execDelay != nil {
+				execDelay(owner, i)
+			}
 			summary := execCell(&spec, cells[i], allSeeds[i*spec.Trials:(i+1)*spec.Trials], opts.Parallelism, opts.Workers)
-			if err := putCell(opts.Cache, ids[i], i, keys[i], summary); err != nil {
+			err = putCell(opts.Cache, ids[i], i, keys[i], summary)
+			close(stopRenew)
+			if err != nil {
 				return res, err
 			}
 			res.Executed++
@@ -155,8 +183,9 @@ func RunWorker(ctx context.Context, spec Spec, opts Options) (*WorkerResult, err
 // the spec derives.  It is the work-stealing counterpart of Merge: the
 // returned Grid renders byte-identically to an unsharded Run of the
 // same spec.  Missing cells are an error naming how much of the grid is
-// absent — run more workers, or wait for the ones still going.
-func Assemble(spec Spec, backend cache.Backend) (*Grid, error) {
+// absent — run more workers, or wait for the ones still going.  Cancel
+// ctx to stop between cells (useful against a slow remote backend).
+func Assemble(ctx context.Context, spec Spec, backend cache.Backend) (*Grid, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -168,6 +197,9 @@ func Assemble(spec Spec, backend cache.Backend) (*Grid, error) {
 	grid := &Grid{Spec: spec, Cells: make([]CellSummary, len(cells))}
 	firstMissing, missing := -1, 0
 	for i, sc := range cells {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		id := cellID(sc, &spec, allSeeds[i*spec.Trials:(i+1)*spec.Trials])
 		cell, ok, err := loadCell(backend, id, sc.Key())
 		if err != nil {

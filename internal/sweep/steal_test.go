@@ -23,7 +23,7 @@ func stealOptions(owner string, store cache.Backend) Options {
 // reproduce byte-for-byte.
 func unshardedJSON(t *testing.T, spec Spec) []byte {
 	t.Helper()
-	grid, err := Run(spec, Options{})
+	grid, err := Run(context.Background(), spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func unshardedJSON(t *testing.T, spec Spec) []byte {
 
 func assembledJSON(t *testing.T, spec Spec, backend cache.Backend) []byte {
 	t.Helper()
-	grid, err := Assemble(spec, backend)
+	grid, err := Assemble(context.Background(), spec, backend)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,6 +238,135 @@ func TestWorkStealingOverHTTPBackend(t *testing.T) {
 	}
 }
 
+// countingBackend wraps a Backend to observe the lease traffic a
+// worker generates: successful claims per (owner, id) and record writes
+// per id, plus a one-shot signal when a chosen owner first claims a
+// chosen cell.
+type countingBackend struct {
+	cache.Backend
+	mu       sync.Mutex
+	claims   map[string]int // owner + "\x00" + id → successful claims
+	puts     map[string]int // id → Put calls
+	watchID  string
+	watchOwn string
+	claimed  chan struct{}
+	once     sync.Once
+}
+
+func newCountingBackend(inner cache.Backend, watchOwner, watchID string) *countingBackend {
+	return &countingBackend{
+		Backend:  inner,
+		claims:   make(map[string]int),
+		puts:     make(map[string]int),
+		watchID:  watchID,
+		watchOwn: watchOwner,
+		claimed:  make(chan struct{}),
+	}
+}
+
+func (c *countingBackend) Claim(id, owner string, ttl time.Duration) (bool, error) {
+	ok, err := c.Backend.Claim(id, owner, ttl)
+	if ok {
+		c.mu.Lock()
+		c.claims[owner+"\x00"+id]++
+		c.mu.Unlock()
+		if owner == c.watchOwn && id == c.watchID {
+			c.once.Do(func() { close(c.claimed) })
+		}
+	}
+	return ok, err
+}
+
+func (c *countingBackend) Put(id string, v interface{}) error {
+	c.mu.Lock()
+	c.puts[id]++
+	c.mu.Unlock()
+	return c.Backend.Put(id, v)
+}
+
+func (c *countingBackend) claimCount(owner, id string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.claims[owner+"\x00"+id]
+}
+
+func (c *countingBackend) putCount(id string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.puts[id]
+}
+
+// TestLeaseRenewalKeepsSlowCellOwned is the renewal contract: a cell
+// whose execution outlives the lease TTL must not look dead.  The slow
+// worker's renewal goroutine re-claims at TTL/2 while an eager
+// competitor races through the rest of the grid; the eager worker must
+// never win the slow cell, and exactly one record lands for it.
+func TestLeaseRenewalKeepsSlowCellOwned(t *testing.T) {
+	spec := smallSpec()
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := spec.Expand()
+	seeds := spec.jobSeeds(len(cells))
+	slowID := cellID(cells[0], &spec, seeds[:spec.Trials])
+	backend := newCountingBackend(store, "slow", slowID)
+
+	// Cell 0 takes ~3× the lease TTL under the slow owner; everything
+	// else runs at full speed.
+	const ttl = 250 * time.Millisecond
+	execDelay = func(owner string, cell int) {
+		if owner == "slow" && cell == 0 {
+			time.Sleep(3 * ttl)
+		}
+	}
+	defer func() { execDelay = nil }()
+
+	slowDone := make(chan error, 1)
+	go func() {
+		opts := stealOptions("slow", backend)
+		opts.LeaseTTL = ttl
+		opts.Poll = 20 * time.Millisecond
+		_, err := RunWorker(context.Background(), spec, opts)
+		slowDone <- err
+	}()
+
+	// Only start the eager worker once the slow one holds cell 0, so the
+	// race over that cell is guaranteed to happen.
+	select {
+	case <-backend.claimed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("slow worker never claimed cell 0")
+	}
+	opts := stealOptions("eager", backend)
+	opts.LeaseTTL = ttl
+	opts.Poll = 20 * time.Millisecond
+	eager, err := RunWorker(context.Background(), spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-slowDone; err != nil {
+		t.Fatal(err)
+	}
+
+	if n := backend.claimCount("slow", slowID); n < 2 {
+		t.Errorf("slow owner claimed its cell %d times, want ≥ 2 (initial + TTL/2 renewals)", n)
+	}
+	if n := backend.claimCount("eager", slowID); n != 0 {
+		t.Errorf("eager worker stole the renewed lease %d times, want 0", n)
+	}
+	if n := backend.putCount(slowID); n != 1 {
+		t.Errorf("slow cell was written %d times, want exactly 1", n)
+	}
+	if eager.Executed == 0 || eager.Executed >= spec.Cells() {
+		t.Errorf("eager worker executed %d cells, want a strict nonzero share", eager.Executed)
+	}
+	want := unshardedJSON(t, spec)
+	if got := assembledJSON(t, spec, store); !bytes.Equal(want, got) {
+		t.Fatal("grid after a renewed slow cell differs from the unsharded run")
+	}
+}
+
 func TestRunWorkerRequiresBackend(t *testing.T) {
 	if _, err := RunWorker(context.Background(), smallSpec(), Options{}); err == nil {
 		t.Fatal("RunWorker without a backend accepted")
@@ -250,20 +379,20 @@ func TestAssembleReportsMissingCells(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Assemble(spec, store); err == nil {
+	if _, err := Assemble(context.Background(), spec, store); err == nil {
 		t.Fatal("assemble of an empty backend succeeded")
 	}
 	// Half-fill via a static shard run into the same namespace, then
 	// assemble: still incomplete, and the error says how incomplete.
-	if _, err := RunShard(spec, Shard{Index: 1, Count: 2}, Options{Cache: store}); err != nil {
+	if _, err := RunShard(context.Background(), spec, Shard{Index: 1, Count: 2}, Options{Cache: store}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Assemble(spec, store); err == nil {
+	if _, err := Assemble(context.Background(), spec, store); err == nil {
 		t.Fatal("assemble of a half-drained backend succeeded")
 	}
 	// Completing the other half makes assembly whole — shard runs and
 	// workers share one record namespace.
-	if _, err := RunShard(spec, Shard{Index: 2, Count: 2}, Options{Cache: store}); err != nil {
+	if _, err := RunShard(context.Background(), spec, Shard{Index: 2, Count: 2}, Options{Cache: store}); err != nil {
 		t.Fatal(err)
 	}
 	if got := assembledJSON(t, spec, store); !bytes.Equal(unshardedJSON(t, spec), got) {

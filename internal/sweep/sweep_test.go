@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -127,7 +128,7 @@ func TestValidateNormalizesJammers(t *testing.T) {
 }
 
 func TestRunSmallGrid(t *testing.T) {
-	grid, err := Run(smallSpec(), Options{})
+	grid, err := Run(context.Background(), smallSpec(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestRunDeterministicAcrossParallelism(t *testing.T) {
 	// Same spec + seed must produce byte-identical JSON, at any
 	// parallelism — the artifact-diffability contract.
 	render := func(par int) []byte {
-		grid, err := Run(smallSpec(), Options{Parallelism: par})
+		grid, err := Run(context.Background(), smallSpec(), Options{Parallelism: par})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -201,7 +202,7 @@ func TestRunMixedModelGrid(t *testing.T) {
 		Horizon:   800,
 		Seed:      11,
 	}
-	grid, err := Run(s, Options{Parallelism: 1})
+	grid, err := Run(context.Background(), s, Options{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestRunMixedModelGrid(t *testing.T) {
 		}
 	}
 	a, _ := grid.JSON()
-	par, err := Run(s, Options{Parallelism: 8})
+	par, err := Run(context.Background(), s, Options{Parallelism: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,13 +245,13 @@ func TestRunMixedModelGrid(t *testing.T) {
 }
 
 func TestRunSeedMatters(t *testing.T) {
-	a, err := Run(smallSpec(), Options{})
+	a, err := Run(context.Background(), smallSpec(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	s := smallSpec()
 	s.Seed = 43
-	b, err := Run(s, Options{})
+	b, err := Run(context.Background(), s, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +273,7 @@ func TestRunJammedCell(t *testing.T) {
 		Horizon:   2000,
 		Seed:      7,
 	}
-	grid, err := Run(s, Options{})
+	grid, err := Run(context.Background(), s, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func TestErrorEpochsCounted(t *testing.T) {
 		NoDrain:   true,
 		Seed:      9,
 	}
-	grid, err := Run(s, Options{})
+	grid, err := Run(context.Background(), s, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +314,7 @@ func TestErrorEpochsCounted(t *testing.T) {
 
 func TestOnCellProgress(t *testing.T) {
 	var calls []int
-	_, err := Run(Spec{
+	_, err := Run(context.Background(), Spec{
 		Protocols: []string{"genie"}, Arrivals: []string{"batch"},
 		Kappas: []int{2, 4}, Rates: []float64{0.5},
 		Trials: 1, Horizon: 100, Seed: 1,
@@ -359,7 +360,7 @@ func TestParseSpecRejectsUnknownFields(t *testing.T) {
 }
 
 func TestGridTableAndCSV(t *testing.T) {
-	grid, err := Run(Spec{
+	grid, err := Run(context.Background(), Spec{
 		Protocols: []string{"genie"}, Arrivals: []string{"batch"},
 		Kappas: []int{4}, Rates: []float64{0.5},
 		Trials: 1, Horizon: 100, Seed: 1,
@@ -460,7 +461,7 @@ func TestAdversaryGridDeterministicAcrossParallelism(t *testing.T) {
 	// serial and parallel execution (adaptive state is per-trial, jam
 	// randomness slot-keyed, cell seeds order-derived).
 	render := func(par int) []byte {
-		grid, err := Run(adversarialSpec(), Options{Parallelism: par})
+		grid, err := Run(context.Background(), adversarialSpec(), Options{Parallelism: par})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -482,7 +483,7 @@ func TestAdversaryGridDeterministicAcrossParallelism(t *testing.T) {
 }
 
 func TestAdversaryCellsBehave(t *testing.T) {
-	grid, err := Run(adversarialSpec(), Options{})
+	grid, err := Run(context.Background(), adversarialSpec(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -533,7 +534,7 @@ func TestLatencySamplesValidation(t *testing.T) {
 func TestLatencySamplesOffDisablesQuantiles(t *testing.T) {
 	s := smallSpec()
 	s.LatencySamples = -1
-	grid, err := Run(s, Options{})
+	grid, err := Run(context.Background(), s, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -553,7 +554,7 @@ func TestReservoirQuantilesDeterministicAcrossParallelism(t *testing.T) {
 	spec.Horizon = 2000
 	spec.LatencySamples = 16
 	render := func(par int) []byte {
-		grid, err := Run(spec, Options{Parallelism: par})
+		grid, err := Run(context.Background(), spec, Options{Parallelism: par})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 )
@@ -43,7 +44,7 @@ func TestWorkersCellIdentityNeutral(t *testing.T) {
 // Spec.Workers (a spec that pins it) — and requires byte-identical
 // artifacts, the sweep-level face of the engine's equality contract.
 func TestWorkersGridByteIdentical(t *testing.T) {
-	ref, err := Run(smallSpec(), Options{})
+	ref, err := Run(context.Background(), smallSpec(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestWorkersGridByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	viaOpts, err := Run(smallSpec(), Options{Workers: 4})
+	viaOpts, err := Run(context.Background(), smallSpec(), Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestWorkersGridByteIdentical(t *testing.T) {
 
 	pinned := smallSpec()
 	pinned.Workers = 3
-	viaSpec, err := Run(pinned, Options{})
+	viaSpec, err := Run(context.Background(), pinned, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
